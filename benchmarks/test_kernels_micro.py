@@ -1,0 +1,93 @@
+"""Single-node kernel microbenchmarks (Table 2's compute vocabulary).
+
+Times SpMM (both backends), the SDDMM family, the graph softmax and
+the composite SpMMM/MSpMM kernels on a fixed Erdős–Rényi operand set —
+the per-kernel baseline every higher-level measurement decomposes into.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import make_graph
+from repro.tensor.kernels import (
+    masked_row_softmax,
+    mspmm,
+    sddmm_add,
+    sddmm_cosine,
+    sddmm_dot,
+    spmm,
+    spmmm,
+)
+
+N, K = 4096, 64
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(0)
+    a = make_graph("uniform", N, 16 * N, seed=0)
+    h = rng.normal(size=(N, K)).astype(np.float32)
+    w = rng.normal(size=(K, K)).astype(np.float32)
+    u = rng.normal(size=N).astype(np.float32)
+    return a, h, w, u
+
+
+def test_spmm_scipy(benchmark, operands):
+    a, h, _, _ = operands
+    out = benchmark(lambda: spmm(a, h, backend="scipy"))
+    assert out.shape == (N, K)
+
+
+def test_spmm_reference(benchmark, operands):
+    a, h, _, _ = operands
+    out = benchmark(lambda: spmm(a, h, backend="reference"))
+    assert out.shape == (N, K)
+
+
+def test_sddmm_dot(benchmark, operands):
+    a, h, _, _ = operands
+    values = benchmark(lambda: sddmm_dot(a, h, h))
+    assert values.shape == (a.nnz,)
+
+
+def test_sddmm_add(benchmark, operands):
+    a, _, _, u = operands
+    values = benchmark(lambda: sddmm_add(a, u, u))
+    assert values.shape == (a.nnz,)
+
+
+def test_sddmm_cosine(benchmark, operands):
+    a, h, _, _ = operands
+    values, _ = benchmark(lambda: sddmm_cosine(a, h))
+    assert values.shape == (a.nnz,)
+
+
+def test_graph_softmax(benchmark, operands):
+    a, _, _, _ = operands
+    rng = np.random.default_rng(1)
+    scores = a.with_data(rng.normal(size=a.nnz).astype(np.float32))
+    out = benchmark(lambda: masked_row_softmax(scores))
+    assert np.all(np.isfinite(out.data))
+
+
+def test_spmmm(benchmark, operands):
+    a, h, w, _ = operands
+    out = benchmark(lambda: spmmm(a, h, w))
+    assert out.shape == (N, K)
+
+
+def test_mspmm(benchmark, operands):
+    a, h, _, _ = operands
+    out = benchmark(lambda: mspmm(h.T, a, h))
+    assert out.shape == (K, K)
+
+
+def test_backends_agree(benchmark, operands):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    a, h, _, _ = operands
+    assert np.allclose(
+        spmm(a, h, backend="scipy"), spmm(a, h, backend="reference"),
+        atol=1e-4,
+    )

@@ -1,0 +1,47 @@
+"""repro — Global tensor formulations for attentional GNNs.
+
+A comprehensive reproduction of *"High-Performance and Programmable
+Attentional Graph Neural Networks with Global Tensor Formulations"*
+(Besta et al., SC '23).
+
+The package is organised into subsystems mirroring the paper:
+
+``repro.tensor``
+    From-scratch sparse tensor substrate: COO/CSR formats, semirings
+    (real, tropical min/max, average), and the paper's compute kernels
+    (SpMM, SDDMM, SpMMM, MSpMM, masked row softmax).
+``repro.core``
+    The paper's primary contribution: global tensor formulations —
+    the Table-2 building blocks (``rep``, ``sum``, ``rs``, ``sm``), the
+    per-model attention operators :math:`\\Psi` and the generic
+    programmable layer :math:`H^{l+1} = \\sigma((\\Phi\\circ\\oplus)(\\Psi(A,H),H))`.
+``repro.models``
+    VA / AGNN / GAT / GCN models with manual global-formulation
+    forward *and* backward passes (Section 5 of the paper).
+``repro.fusion``
+    The op-DAG toolchain: sparsity inference, virtual tensors, and
+    the fusion pass generating SDDMM-like fused kernels (Section 6.2).
+``repro.runtime``
+    Simulated MPI/BSP runtime: threaded SPMD ranks, collective
+    algorithms, per-rank communication-volume accounting and an
+    alpha-beta-gamma cost model.
+``repro.distributed``
+    The A-stationary 1.5D distribution (Section 6.3) and distributed
+    implementations of all models, training and inference.
+``repro.baselines``
+    Local-formulation (message-passing) engines standing in for
+    DGL / DistDGL, including a mini-batch sampled trainer.
+``repro.graphs``
+    Kronecker (Graph500-style), Erdős–Rényi and power-law generators,
+    preprocessing and synthetic labelled datasets.
+``repro.training``
+    Losses, optimisers, a full-batch trainer and metrics.
+``repro.theory``
+    Closed-form communication-volume predictors (Section 7).
+``repro.bench``
+    The benchmark harness regenerating every figure of the paper.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

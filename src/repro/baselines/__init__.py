@@ -1,0 +1,44 @@
+"""Local-formulation (message-passing) baseline engines.
+
+The paper compares against DGL / DistDGL, which execute A-GNNs through
+the *local* formulation: per-edge message functions and per-vertex
+aggregations (DGL's generalized SDDMM/SpMM programming model), with a
+1D vertex partition and neighbour-feature halo exchanges when
+distributed. These engines reproduce that execution model from scratch:
+
+* :mod:`repro.baselines.message_passing` — a DGL-flavoured single-node
+  engine (``apply_edges`` / ``update_all``) plus local-formulation
+  implementations of VA/AGNN/GAT used as semantic cross-checks.
+* :mod:`repro.baselines.dist_local` — the distributed full-batch local
+  engine: 1D partition, halo exchange of :math:`\\Theta(nkd/p)` words
+  per layer (the Section-7 lower bound for the local view), forward and
+  backward.
+* :mod:`repro.baselines.minibatch` — DistDGL-style mini-batch training
+  with layer-wise neighbour sampling and remote feature fetches.
+"""
+
+from repro.baselines.message_passing import (
+    LocalGraph,
+    local_agnn_layer,
+    local_gat_layer,
+    local_va_layer,
+)
+from repro.baselines.dist_local import (
+    dist_local_inference,
+    dist_local_train,
+)
+from repro.baselines.minibatch import (
+    MiniBatchConfig,
+    minibatch_train,
+)
+
+__all__ = [
+    "LocalGraph",
+    "local_va_layer",
+    "local_agnn_layer",
+    "local_gat_layer",
+    "dist_local_inference",
+    "dist_local_train",
+    "MiniBatchConfig",
+    "minibatch_train",
+]

@@ -1,0 +1,214 @@
+"""DistDGL-style mini-batch training with neighbour sampling.
+
+The paper's main baseline runs *mini-batch* training: each iteration
+samples a batch of target vertices and an L-hop fan-out-limited
+neighbourhood, fetches the features of sampled remote vertices, and
+trains on the induced block — processing "many orders of magnitude
+fewer vertices" than a full batch. This engine reproduces that cost
+profile:
+
+* each rank draws ``batch_size / p`` targets from its own 1D partition;
+* layer-wise neighbour sampling with per-layer fan-out caps expands the
+  target set into the input vertex set (structure lookups are local, as
+  in DistDGL's partitioned graph store with local sampling servers);
+* features of sampled vertices owned by other ranks are fetched
+  (``alltoall``), charging :math:`k` words per remote vertex;
+* the model runs forward + backward on a block containing only the
+  *sampled* edges plus self loops (DGL's message-flow-block semantics,
+  whose edge count is bounded by the fan-out budget, not by graph
+  density), and weight gradients are allreduced (data-parallel
+  training, as DistDGL does).
+
+Loss/accuracy semantics of sampled training differ from full-batch by
+construction (the sampling-induced information loss the paper cites);
+the benchmark figures compare *per-iteration runtime*, which is what
+this engine reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distributed.partition import block_range
+from repro.models import build_model
+from repro.runtime.communicator import Communicator
+from repro.runtime.executor import run_spmd
+from repro.runtime.stats import RunStats
+from repro.tensor.csr import CSRMatrix
+from repro.training.loss import SoftmaxCrossEntropyLoss
+from repro.util.rng import make_rng
+
+__all__ = ["MiniBatchConfig", "minibatch_train", "sample_block"]
+
+#: Flop-equivalents charged per sampled edge. Neighbour sampling is a
+#: CPU-side pointer-chasing + feature-slicing pipeline (DistDGL's
+#: sampler and dataloader); measured DGL/DistDGL end-to-end sampling
+#: throughputs are on the order of 2e7 edges/s per node, versus ~1e12
+#: dense flops/s on the accelerator — i.e. one sampled edge costs as
+#: much machine time as ~5e4 dense flops. Without this charge the cost
+#: model would credit mini-batch training with GPU-speed sampling,
+#: which is not how DistDGL behaves (and not why the paper's full-batch
+#: runs win at low density).
+SAMPLING_FLOPS_PER_EDGE = 50_000
+
+
+@dataclass
+class MiniBatchConfig:
+    """Sampling configuration (defaults follow common DistDGL setups)."""
+
+    batch_size: int = 1024
+    fanouts: tuple[int, ...] = (10, 10, 10)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if not self.fanouts or any(f < 1 for f in self.fanouts):
+            raise ValueError("fanouts must be positive")
+
+
+def sample_block(
+    a: CSRMatrix,
+    targets: np.ndarray,
+    fanouts: tuple[int, ...],
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, CSRMatrix, int]:
+    """Layer-wise neighbour sampling producing a DGL-style block.
+
+    Starting from ``targets``, each hop samples up to ``fanout``
+    neighbours per frontier vertex (without replacement within a
+    vertex). Returns ``(vertices, block, sampled_edges)`` where
+    ``vertices`` is the sorted union of sampled vertices and ``block``
+    is a square CSR over them containing only the *sampled* edges (plus
+    self loops) — mirroring DGL's message-flow blocks, whose edge count
+    is bounded by the fan-out budget rather than by graph density.
+    """
+    vertices = np.unique(targets)
+    frontier = vertices
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    sampled_edges = 0
+    for fanout in fanouts:
+        picked = []
+        for v in frontier:
+            start, stop = a.indptr[v], a.indptr[v + 1]
+            degree = stop - start
+            if degree == 0:
+                continue
+            sampled_edges += min(degree, fanout)
+            if degree <= fanout:
+                neighbours = a.indices[start:stop]
+            else:
+                sel = rng.choice(degree, size=fanout, replace=False)
+                neighbours = a.indices[start + sel]
+            picked.append(neighbours)
+            srcs.append(np.full(neighbours.shape[0], v, dtype=np.int64))
+            dsts.append(neighbours)
+        if picked:
+            new = np.unique(np.concatenate(picked))
+            frontier = np.setdiff1d(new, vertices, assume_unique=False)
+            vertices = np.union1d(vertices, new)
+        else:
+            break
+    nv = vertices.shape[0]
+    if srcs:
+        rows = np.searchsorted(vertices, np.concatenate(srcs))
+        cols = np.searchsorted(vertices, np.concatenate(dsts))
+    else:
+        rows = np.empty(0, dtype=np.int64)
+        cols = np.empty(0, dtype=np.int64)
+    from repro.tensor.coo import COOMatrix
+
+    coo = COOMatrix(rows, cols, None, shape=(nv, nv)).add_self_loops()
+    block = coo.to_csr()
+    block = block.with_data(np.ones(block.nnz, dtype=a.dtype))
+    return vertices, block, sampled_edges
+
+
+def minibatch_train(
+    model_name: str,
+    a: CSRMatrix,
+    features: np.ndarray,
+    labels: np.ndarray,
+    hidden_dim: int,
+    out_dim: int,
+    num_layers: int = 3,
+    p: int = 4,
+    iterations: int = 1,
+    lr: float = 0.01,
+    config: MiniBatchConfig | None = None,
+    seed: int = 0,
+    dtype: np.dtype | type = np.float32,
+    timeout: float = 300.0,
+) -> tuple[list[float], RunStats]:
+    """Run ``iterations`` mini-batch training steps on ``p`` ranks.
+
+    Returns per-iteration mean losses (across ranks) and the traffic
+    statistics. Remote-feature fetch volume is recorded under the
+    ``fetch`` phase, gradient synchronisation under ``gradsync``.
+    """
+    config = config or MiniBatchConfig(fanouts=tuple([10] * num_layers))
+    n = features.shape[0]
+
+    def program(comm: Communicator):
+        rng = make_rng(config.seed * 7919 + comm.rank)
+        r0, r1 = block_range(n, comm.size, comm.rank)
+        local_batch = max(1, config.batch_size // comm.size)
+        model = build_model(
+            model_name, features.shape[1], hidden_dim, out_dim,
+            num_layers=num_layers, seed=seed, dtype=dtype,
+        )
+        loss = SoftmaxCrossEntropyLoss()
+        losses = []
+        for _it in range(iterations):
+            comm.stats.set_phase("sample")
+            targets = rng.integers(r0, r1, local_batch, dtype=np.int64)
+            vertices, sub, sampled_edges = sample_block(
+                a, targets, config.fanouts, rng
+            )
+            comm.stats.flops.add(
+                SAMPLING_FLOPS_PER_EDGE * sampled_edges, "sampling"
+            )
+
+            comm.stats.set_phase("fetch")
+            # Fetch features of sampled vertices from their owners.
+            requests = []
+            for s in range(comm.size):
+                s0, s1 = block_range(n, comm.size, s)
+                wanted = vertices[(vertices >= s0) & (vertices < s1)]
+                requests.append(wanted if s != comm.rank else wanted[:0])
+            incoming = comm.alltoall(requests)
+            replies = [
+                np.ascontiguousarray(features[req]) for req in incoming
+            ]
+            comm.alltoall(replies)
+            # (The returned arrays model the wire transfer; feature
+            # values themselves are globally addressable in-process.)
+            h_block = np.ascontiguousarray(features[vertices]).astype(dtype)
+
+            comm.stats.set_phase("compute")
+            out = model.forward(sub, h_block, counter=comm.stats.flops,
+                                training=True)
+            y_block = labels[vertices]
+            value = loss.value(out, y_block)
+            grads = model.backward(
+                loss.gradient(out, y_block), counter=comm.stats.flops
+            )
+
+            comm.stats.set_phase("gradsync")
+            synced = [
+                {
+                    name: comm.allreduce(grad) / comm.size
+                    for name, grad in layer.items()
+                }
+                for layer in grads
+            ]
+            model.apply_gradients(synced, lr)
+            losses.append(float(comm.allreduce(np.array(value))) / comm.size)
+        model.zero_caches()
+        return losses
+
+    result = run_spmd(p, program, timeout=timeout)
+    return result.values[0], result.stats

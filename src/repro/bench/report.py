@@ -1,0 +1,118 @@
+"""Figure rendering from benchmark results — the artifact's plot step.
+
+The original artifact ships ``plots/create_plots_artifact.py`` turning
+``unified_results.csv`` into the submission's PDF figures. This module
+is its dependency-free equivalent: it reads the CSVs produced by the
+benchmark suite (``benchmarks/results/*.csv``) and renders each figure
+as aligned text panels — one panel per (figure, task, k), one series
+per (model, formulation), modeled time against rank count, with a
+log-scale ASCII sparkline so scaling trends are visible at a glance.
+
+Run:
+
+.. code-block:: console
+
+    $ python -m repro.bench.report benchmarks/results
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+__all__ = ["load_results", "render_figure", "main"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def load_results(results_dir: str | Path) -> list[dict]:
+    """Read every results CSV, de-duplicating repeated sweep points.
+
+    Later rows win (files are append-only across re-runs).
+    """
+    rows: dict[tuple, dict] = {}
+    for path in sorted(Path(results_dir).glob("*.csv")):
+        with path.open() as handle:
+            for row in csv.DictReader(handle):
+                key = (
+                    row.get("figure"), row.get("model"),
+                    row.get("formulation"), row.get("task"),
+                    row.get("n"), row.get("k"), row.get("p"),
+                    row.get("density"),
+                )
+                rows[key] = row
+    return list(rows.values())
+
+
+def _sparkline(values: list[float]) -> str:
+    """Log-scale sparkline of a positive series."""
+    finite = [v for v in values if v > 0]
+    if not finite:
+        return " " * len(values)
+    logs = [math.log10(v) if v > 0 else math.log10(min(finite)) for v in values]
+    low, high = min(logs), max(logs)
+    span = (high - low) or 1.0
+    return "".join(
+        _BLOCKS[int((value - low) / span * (len(_BLOCKS) - 1))]
+        for value in logs
+    )
+
+
+def render_figure(rows: list[dict], figure: str) -> str:
+    """Render one figure's panels as text."""
+    selected = [r for r in rows if r.get("figure") == figure]
+    if not selected:
+        return f"(no data for {figure})"
+    lines = [f"==== {figure} " + "=" * max(1, 60 - len(figure))]
+    panels = defaultdict(list)
+    for row in selected:
+        panels[(row["task"], row["k"])].append(row)
+    for (task, k), panel_rows in sorted(panels.items()):
+        lines.append(f"\n-- task={task}, k={k} --")
+        series = defaultdict(dict)
+        for row in panel_rows:
+            rho = row.get("extra_rho") or f"{float(row['density']):.4f}"
+            label = (row["model"], row["formulation"], rho)
+            series[label][int(row["p"])] = float(row["modeled_s"])
+        lines.append(
+            f"{'model':<6} {'formulation':<11} {'rho':>8} "
+            f"{'p=1':>11} {'p=4':>11} {'p=16':>11}  trend"
+        )
+        for (model, formulation, rho), points in sorted(series.items()):
+            ps = sorted(points)
+            cells = []
+            for p in (1, 4, 16):
+                cells.append(
+                    f"{points[p]:>10.2e}s" if p in points else f"{'-':>11}"
+                )
+            trend = _sparkline([points[p] for p in ps])
+            lines.append(
+                f"{model:<6} {formulation:<11} {str(rho)[:8]:>8} "
+                f"{cells[0]} {cells[1]} {cells[2]}  {trend}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: render every figure found in a results directory."""
+    argv = sys.argv[1:] if argv is None else argv
+    results_dir = Path(argv[0]) if argv else Path("benchmarks/results")
+    if not results_dir.exists():
+        print(f"no results directory at {results_dir}", file=sys.stderr)
+        return 1
+    rows = load_results(results_dir)
+    figures = sorted({r["figure"] for r in rows if r.get("figure")})
+    if not figures:
+        print("no benchmark rows found", file=sys.stderr)
+        return 1
+    for figure in figures:
+        print(render_figure(rows, figure))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""Unified benchmark CLI — the artifact's driver, reimplemented.
+
+Mirrors ``unified_single_bench.py`` / ``unified_distr_bench.py``:
+
+.. code-block:: console
+
+    $ python -m repro.bench.unified_bench -m VA -v 10000 -e 1000000
+    $ python -m repro.bench.unified_bench -m GAT -v 4096 -e 200000 \
+          -p 4 --features 32 -l 3 --inference -d kronecker
+
+Where the artifact selects rank count via ``mpirun -n``, the simulated
+cluster takes ``-p`` (a perfect square). Results (median and standard
+deviation over ``--repeat`` runs after ``--warmup`` discards) are
+appended to a CSV, like the artifact's ``unified_results.csv``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.bench.harness import BenchRow, make_graph, run_config, write_csv
+from repro.graphs.io import load_npz
+from repro.graphs.prep import prepare_adjacency
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="unified_bench",
+        description="Benchmark GNN models on the simulated cluster.",
+    )
+    parser.add_argument("-s", "--seed", type=int, default=0,
+                        help="The seed for the random number generator.")
+    parser.add_argument("-v", "--vertices", type=int, default=1 << 12,
+                        help="The number of vertices in the graph.")
+    parser.add_argument("-e", "--edges", type=int, default=1 << 16,
+                        help="The number of edges in the graph.")
+    parser.add_argument("-t", "--type", choices=["float32", "float64"],
+                        default="float32", help="The type of the data.")
+    parser.add_argument("-m", "--model", choices=["VA", "GAT", "AGNN", "GCN"],
+                        default="VA", help="The model to test.")
+    parser.add_argument("-f", "--file", default=None,
+                        help="npz file containing the adjacency matrix (COO).")
+    parser.add_argument("-d", "--dataset",
+                        choices=["kronecker", "uniform", "powerlaw"],
+                        default="kronecker",
+                        help="Graph generator for the adjacency matrix.")
+    parser.add_argument("--features", type=int, default=16,
+                        help="The number of features.")
+    parser.add_argument("--inference", action="store_true",
+                        help="Run inference only (no backward pass).")
+    parser.add_argument("-l", "--layers", type=int, default=3,
+                        help="The number of layers in the GNN model.")
+    parser.add_argument("-p", "--processes", type=int, default=1,
+                        help="Simulated rank count (perfect square).")
+    parser.add_argument("--formulation",
+                        choices=["global", "local", "minibatch"],
+                        default="global", help="Execution formulation.")
+    parser.add_argument("--repeat", type=int, default=10,
+                        help="The number of times to repeat the benchmark.")
+    parser.add_argument("--warmup", type=int, default=2,
+                        help="The number of warmup runs.")
+    parser.add_argument("--output", default="unified_results.csv",
+                        help="CSV file results are appended to.")
+    parser.add_argument("--validate", action="store_true",
+                        help="Check distributed engines against the "
+                             "single-node reference instead of timing.")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.file:
+        adjacency = prepare_adjacency(load_npz(args.file))
+        print(f"loaded {args.file}: n={adjacency.shape[0]}, m={adjacency.nnz}")
+    else:
+        adjacency = make_graph(
+            args.dataset, args.vertices, args.edges, seed=args.seed
+        )
+
+    if args.validate:
+        from repro.bench.validate import validate_model
+
+        report = validate_model(
+            args.model, adjacency, k=args.features, layers=args.layers,
+            p=max(args.processes, 4), seed=args.seed,
+        )
+        print(report)
+        return 0 if report.passed else 1
+
+    task = "inference" if args.inference else "training"
+    rows: list[BenchRow] = []
+    timings = []
+    total = args.warmup + args.repeat
+    for iteration in range(total):
+        row = run_config(
+            figure="cli",
+            model=args.model,
+            formulation=args.formulation,
+            task=task,
+            a=adjacency,
+            k=args.features,
+            layers=args.layers,
+            p=args.processes,
+            seed=args.seed,
+        )
+        if iteration >= args.warmup:
+            rows.append(row)
+            timings.append(row.measured_s)
+
+    median = float(np.median(timings))
+    std = float(np.std(timings))
+    print(
+        f"{args.model} {args.formulation} {task}: "
+        f"n={adjacency.shape[0]} m={adjacency.nnz} k={args.features} "
+        f"L={args.layers} p={args.processes} | "
+        f"measured median {median:.4f}s (std {std:.4f}) | "
+        f"modeled {rows[-1].modeled_s:.6f}s | "
+        f"comm {rows[-1].comm_words} words"
+    )
+    write_csv(rows, args.output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Global tensor formulations — the paper's primary contribution.
+
+This package holds the model-agnostic pieces of Sections 3–5:
+
+* :mod:`repro.core.blocks` — the tensor-algebra building blocks of
+  Table 2 (``rep``, ``sum``, ``rs``, :math:`X + X^T`, :math:`X X^T`).
+* :mod:`repro.core.activations` — element-wise non-linearities with
+  derivatives, used by both forward and backward formulations.
+* :mod:`repro.core.softmax` — the global graph-softmax formulation of
+  Section 4.2 (dense reference and sparse production paths).
+* :mod:`repro.core.psi` — the per-model attention operators
+  :math:`\\Psi(\\mathcal{A}, H)` of Section 4.1 with their backward
+  passes (Section 5), expressed purely in Table-2 kernels.
+* :mod:`repro.core.formulation` — the programmable generic layer of
+  Eq. (1): :math:`H^{l+1} = \\sigma((\\Phi \\circ \\oplus)(\\Psi, H))`.
+"""
+
+from repro.core.activations import Activation, get_activation
+from repro.core.blocks import (
+    gram,
+    matrix_plus_transpose,
+    rep,
+    rep_t,
+    rs,
+    sum_cols,
+    sum_rows,
+)
+from repro.core.formulation import AttentionSpec, GenericLayer
+from repro.core.psi import (
+    psi_agnn,
+    psi_gat,
+    psi_va,
+)
+from repro.core.softmax import graph_softmax, graph_softmax_dense
+
+__all__ = [
+    "Activation",
+    "get_activation",
+    "rep",
+    "rep_t",
+    "sum_rows",
+    "sum_cols",
+    "rs",
+    "gram",
+    "matrix_plus_transpose",
+    "graph_softmax",
+    "graph_softmax_dense",
+    "psi_va",
+    "psi_agnn",
+    "psi_gat",
+    "AttentionSpec",
+    "GenericLayer",
+]

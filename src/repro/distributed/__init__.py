@@ -1,0 +1,52 @@
+"""A-stationary 1.5D distributed GNN execution (Section 6.3).
+
+The distribution scheme, verbatim from the paper: the adjacency matrix
+gets a 2D distribution on a ``P x P`` process grid (the analysis of
+Section 7 slices into ``sqrt(p) x sqrt(p)`` blocks, so the grid is
+square); the layer input :math:`H^l` is distributed in ``P`` row
+blocks, each replicated ``P`` times down its grid column; the output is
+distributed in ``P`` blocks, each split into ``P`` partial sums across
+its grid row. Between layers the partial sums are reduced
+(ring reduce-scatter along grid rows) and redistributed (a chunk
+exchange) back into column-replicated input blocks. Weight matrices and
+attention vectors are replicated everywhere.
+
+Modules:
+
+* :mod:`repro.distributed.partition` — block ranges, adjacency block
+  extraction, feature distribution/collection.
+* :mod:`repro.distributed.ops` — the shared communication patterns:
+  diagonal row broadcast, softmax row-reductions, the reduce+
+  redistribute pipeline, the transpose exchange.
+* :mod:`repro.distributed.layers` — distributed VA/AGNN/GAT/GCN layers
+  (forward and backward).
+* :mod:`repro.distributed.model` — the distributed ``GnnModel``
+  equivalent orchestrating layers, loss and training steps.
+* :mod:`repro.distributed.api` — one-call helpers that run a whole
+  distributed inference/training job on the simulated cluster and
+  return outputs plus communication statistics.
+"""
+
+from repro.distributed.api import (
+    distributed_inference,
+    distributed_training_step,
+)
+from repro.distributed.model import DistGnnModel
+from repro.distributed.partition import (
+    block_range,
+    block_ranges,
+    collect_feature_blocks,
+    distribute_adjacency,
+    distribute_features,
+)
+
+__all__ = [
+    "block_range",
+    "block_ranges",
+    "distribute_adjacency",
+    "distribute_features",
+    "collect_feature_blocks",
+    "DistGnnModel",
+    "distributed_inference",
+    "distributed_training_step",
+]

@@ -1,0 +1,611 @@
+"""Distributed GNN layers on the 1.5D A-stationary schedule.
+
+Each layer is the SPMD twin of its single-node counterpart in
+``repro.models``: identical mathematics, with the Table-2 kernels
+applied to local blocks and the four communication patterns of
+:mod:`repro.distributed.ops` carrying the cross-rank data flow. The
+communication structure per layer (square ``P x P`` grid, block size
+``b = n / P``):
+
+========================  =======================================
+operation                 per-rank volume (words)
+========================  =======================================
+diagonal row broadcast    ``O(b k)`` (VA/AGNN/GAT forward+backward)
+softmax row reductions    ``O(b log p)``   (feature-free)
+reduce + redistribute     ``2 b k``
+transpose exchange        ``b k``          (backward only)
+weight-gradient reduce    ``O(k^2 log p)``
+========================  =======================================
+
+summing to the paper's :math:`O(nk/\\sqrt{p} + k^2)` per layer.
+
+Replication invariant: input feature blocks, weights, and every
+backward output are identical across the ranks of a grid column; all
+code paths preserve this bit-for-bit (NumPy kernels are deterministic),
+which the distributed-equivalence tests assert.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.activations import (
+    get_activation,
+    leaky_relu,
+    leaky_relu_grad,
+)
+from repro.distributed.ops import (
+    OpSequencer,
+    distributed_row_softmax,
+    distributed_row_softmax_backward,
+    reduce_and_redistribute,
+    row_bcast_from_diagonal,
+    transpose_exchange,
+)
+from repro.models.base import glorot
+from repro.runtime.grid import ProcessGrid
+from repro.tensor.csr import CSRMatrix
+from repro.tensor.kernels import mm, sddmm_add, sddmm_dot, spmm
+from repro.tensor.segment import segment_sum
+from repro.util.counters import FlopCounter, null_counter
+from repro.util.rng import make_rng
+
+__all__ = [
+    "DistGnnLayer",
+    "DistVALayer",
+    "DistAGNNLayer",
+    "DistGATLayer",
+    "DistMultiHeadGATLayer",
+    "DistGCNLayer",
+]
+
+
+class DistGnnLayer(ABC):
+    """Base class: replicated parameters + SPMD forward/backward.
+
+    Parameters are initialised from an explicit ``seed`` so that every
+    rank constructs bit-identical replicas — the distributed equivalent
+    of the paper's "weight matrices W and vectors a are replicated
+    across all processes".
+    """
+
+    def __init__(self, activation: str) -> None:
+        self.activation = get_activation(activation)
+
+    @abstractmethod
+    def forward(
+        self,
+        grid: ProcessGrid,
+        a_block: CSRMatrix,
+        h_block: np.ndarray,
+        sequencer: OpSequencer,
+        counter: FlopCounter = null_counter(),
+        training: bool = True,
+    ) -> tuple[np.ndarray, Any]:
+        """Compute the next column-replicated feature block.
+
+        ``h_block`` is this rank's input block :math:`H_j`; the return
+        value is :math:`H^{l+1}_j` (post-activation, already reduced
+        and redistributed) plus a training cache exposing ``z_block``.
+        """
+
+    @abstractmethod
+    def backward(
+        self,
+        grid: ProcessGrid,
+        cache: Any,
+        g_block: np.ndarray,
+        sequencer: OpSequencer,
+        counter: FlopCounter = null_counter(),
+        need_input_grad: bool = True,
+    ) -> tuple[np.ndarray | None, dict[str, np.ndarray]]:
+        """SPMD backward: ``g_block`` is :math:`dL/dZ` restricted to
+        block ``j`` (column-replicated). Returns the input-feature
+        gradient block (or ``None`` when ``need_input_grad=False`` —
+        the first layer) and replicated parameter gradients.
+        """
+
+    @abstractmethod
+    def parameters(self) -> dict[str, np.ndarray]:
+        """Replicated parameters by name."""
+
+    def apply_gradients(self, grads: dict[str, np.ndarray], lr: float) -> None:
+        """SGD update; identical on every rank, preserving replication."""
+        params = self.parameters()
+        for name, grad in grads.items():
+            param = params[name]
+            param -= lr * np.asarray(grad, dtype=param.dtype)
+
+
+# ----------------------------------------------------------------------
+# Vanilla attention
+# ----------------------------------------------------------------------
+@dataclass
+class _DistVACache:
+    a_block: CSRMatrix
+    h_block: np.ndarray
+    h_row: np.ndarray
+    s_block: CSRMatrix
+    hp: np.ndarray
+    z_block: np.ndarray
+
+
+class DistVALayer(DistGnnLayer):
+    """Distributed VA layer: one fused SDDMM + one SpMM + redistribution."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: str = "relu",
+        seed: int | np.random.Generator | None = 0,
+        dtype: np.dtype | type = np.float32,
+    ) -> None:
+        super().__init__(activation)
+        self.weight = glorot(make_rng(seed), (in_dim, out_dim), dtype)
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+
+    def forward(self, grid, a_block, h_block, sequencer,
+                counter=null_counter(), training=True):
+        grid.comm.stats.set_phase("psi")
+        h_row = row_bcast_from_diagonal(grid, h_block)
+        dots = sddmm_dot(a_block, h_row, h_block, counter=counter)
+        s_block = a_block.with_data(a_block.data * dots)
+        grid.comm.stats.set_phase("aggregate")
+        hp = mm(h_block, self.weight, counter=counter)
+        partial = spmm(s_block, hp, counter=counter)
+        grid.comm.stats.set_phase("redistribute")
+        z_block = reduce_and_redistribute(grid, partial, sequencer)
+        h_next = self.activation.fn(z_block)
+        if not training:
+            return h_next, None
+        return h_next, _DistVACache(
+            a_block=a_block, h_block=h_block, h_row=h_row,
+            s_block=s_block, hp=hp, z_block=z_block,
+        )
+
+    def backward(self, grid, cache, g_block, sequencer,
+                 counter=null_counter(), need_input_grad=True):
+        grid.comm.stats.set_phase("backward")
+        a_block = cache.a_block
+        g_row = row_bcast_from_diagonal(grid, g_block)
+        s_t = cache.s_block.transpose()
+        stg_partial = spmm(s_t, g_row, counter=counter)
+        d_weight = grid.comm.allreduce(
+            mm(cache.h_block.T, stg_partial, counter=counter)
+        )
+        if not need_input_grad:
+            return None, {"weight": d_weight}
+
+        ds = sddmm_dot(a_block, g_row, cache.hp, counter=counter)
+        n_block = a_block.with_data(ds * a_block.data)
+        row_partial = spmm(n_block, cache.h_block, counter=counter)
+        row_term = grid.row_comm.allreduce(row_partial)
+        col_partial = spmm(n_block.transpose(), cache.h_row, counter=counter)
+        col_partial = col_partial + mm(stg_partial, self.weight.T, counter=counter)
+        col_term = grid.col_comm.allreduce(col_partial)
+        gamma = col_term + transpose_exchange(grid, row_term, sequencer)
+        return gamma, {"weight": d_weight}
+
+    def parameters(self):
+        return {"weight": self.weight}
+
+
+# ----------------------------------------------------------------------
+# AGNN
+# ----------------------------------------------------------------------
+@dataclass
+class _DistAGNNCache:
+    a_block: CSRMatrix
+    h_block: np.ndarray
+    h_row: np.ndarray
+    s_block: CSRMatrix
+    hp: np.ndarray
+    cos_values: np.ndarray
+    norms_row: np.ndarray
+    norms_col: np.ndarray
+    z_block: np.ndarray
+
+
+class DistAGNNLayer(DistGnnLayer):
+    """Distributed AGNN layer (cosine attention + distributed softmax)."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: str = "relu",
+        beta: float = 1.0,
+        learnable_beta: bool = False,
+        eps: float = 1e-12,
+        seed: int | np.random.Generator | None = 0,
+        dtype: np.dtype | type = np.float32,
+    ) -> None:
+        super().__init__(activation)
+        self.weight = glorot(make_rng(seed), (in_dim, out_dim), dtype)
+        self.beta = np.array(beta, dtype=dtype)
+        self.learnable_beta = learnable_beta
+        self.eps = eps
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+
+    def forward(self, grid, a_block, h_block, sequencer,
+                counter=null_counter(), training=True):
+        grid.comm.stats.set_phase("psi")
+        h_row = row_bcast_from_diagonal(grid, h_block)
+        norms_col = np.sqrt(np.einsum("ij,ij->i", h_block, h_block))
+        norms_row = np.sqrt(np.einsum("ij,ij->i", h_row, h_row))
+        counter.add(4 * h_block.size, "norms")
+        dots = sddmm_dot(a_block, h_row, h_block, counter=counter)
+        denom = np.maximum(
+            norms_row[a_block.expand_rows()] * norms_col[a_block.indices],
+            self.eps,
+        )
+        cos = dots / denom
+        grid.comm.stats.set_phase("softmax")
+        soft = distributed_row_softmax(
+            grid, a_block, float(self.beta) * cos
+        )
+        counter.add(7 * a_block.nnz, "softmax")
+        s_block = a_block.with_data(soft)
+        grid.comm.stats.set_phase("aggregate")
+        hp = mm(h_block, self.weight, counter=counter)
+        partial = spmm(s_block, hp, counter=counter)
+        grid.comm.stats.set_phase("redistribute")
+        z_block = reduce_and_redistribute(grid, partial, sequencer)
+        h_next = self.activation.fn(z_block)
+        if not training:
+            return h_next, None
+        return h_next, _DistAGNNCache(
+            a_block=a_block, h_block=h_block, h_row=h_row, s_block=s_block,
+            hp=hp, cos_values=cos, norms_row=norms_row, norms_col=norms_col,
+            z_block=z_block,
+        )
+
+    def backward(self, grid, cache, g_block, sequencer,
+                 counter=null_counter(), need_input_grad=True):
+        grid.comm.stats.set_phase("backward")
+        a_block = cache.a_block
+        g_row = row_bcast_from_diagonal(grid, g_block)
+        s_t = cache.s_block.transpose()
+        stg_partial = spmm(s_t, g_row, counter=counter)
+        d_weight = grid.comm.allreduce(
+            mm(cache.h_block.T, stg_partial, counter=counter)
+        )
+        ds = sddmm_dot(a_block, g_row, cache.hp, counter=counter)
+        dt = distributed_row_softmax_backward(
+            grid, a_block, cache.s_block.data, ds
+        )
+        grads = {"weight": d_weight}
+        if self.learnable_beta:
+            grads["beta"] = grid.comm.allreduce(
+                np.array(np.dot(dt, cache.cos_values))
+            ).astype(self.beta.dtype)
+        if not need_input_grad:
+            return None, grads
+
+        dc = float(self.beta) * dt
+        norms_row = np.maximum(cache.norms_row, self.eps)
+        norms_col = np.maximum(cache.norms_col, self.eps)
+        rows = a_block.expand_rows()
+        cols = a_block.indices
+        d_mat = a_block.with_data(dc / (norms_row[rows] * norms_col[cols]))
+
+        row_partial = spmm(d_mat, cache.h_block, counter=counter)
+        row_term = grid.row_comm.allreduce(row_partial)
+        col_partial = spmm(d_mat.transpose(), cache.h_row, counter=counter)
+        col_partial = col_partial + mm(stg_partial, self.weight.T, counter=counter)
+        col_term = grid.col_comm.allreduce(col_partial)
+
+        # Diagonal corrections of the cosine Jacobian.
+        dcc = dc * cache.cos_values
+        rc = grid.row_comm.allreduce(segment_sum(dcc, a_block.indptr))
+        cc_local = np.zeros(a_block.shape[1], dtype=dcc.dtype)
+        np.add.at(cc_local, cols, dcc)
+        cc = grid.col_comm.allreduce(cc_local)
+        row_term = row_term - (rc / (norms_row**2))[:, None] * cache.h_row
+        col_term = col_term - (cc / (norms_col**2))[:, None] * cache.h_block
+        counter.add(8 * a_block.nnz, "agnn_vjp")
+
+        gamma = col_term + transpose_exchange(grid, row_term, sequencer)
+        return gamma, grads
+
+    def parameters(self):
+        params = {"weight": self.weight}
+        if self.learnable_beta:
+            params["beta"] = self.beta
+        return params
+
+
+# ----------------------------------------------------------------------
+# GAT
+# ----------------------------------------------------------------------
+@dataclass
+class _DistGATCache:
+    a_block: CSRMatrix
+    h_block: np.ndarray
+    hp_col: np.ndarray
+    hp_row: np.ndarray
+    s_block: CSRMatrix
+    raw_values: np.ndarray
+    z_block: np.ndarray
+
+
+class DistGATLayer(DistGnnLayer):
+    """Distributed GAT layer.
+
+    The projected features :math:`H' = H W` are computed locally
+    (``W`` is replicated); the row-side block :math:`H'_i` is what gets
+    broadcast along the grid row — one broadcast covers both the
+    additive SDDMM (:math:`u_i + v_j`) and the backward pass.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: str = "elu",
+        slope: float = 0.2,
+        seed: int | np.random.Generator | None = 0,
+        dtype: np.dtype | type = np.float32,
+    ) -> None:
+        super().__init__(activation)
+        rng = make_rng(seed)
+        self.weight = glorot(rng, (in_dim, out_dim), dtype)
+        self.a_src = glorot(rng, (out_dim,), dtype)
+        self.a_dst = glorot(rng, (out_dim,), dtype)
+        self.slope = slope
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+
+    def forward(self, grid, a_block, h_block, sequencer,
+                counter=null_counter(), training=True):
+        grid.comm.stats.set_phase("psi")
+        hp_col = mm(h_block, self.weight, counter=counter)
+        hp_row = row_bcast_from_diagonal(grid, hp_col)
+        u = hp_row @ self.a_src
+        v = hp_col @ self.a_dst
+        counter.add(4 * hp_col.size, "gat_uv")
+        raw = sddmm_add(a_block, u, v, counter=counter)
+        logits = leaky_relu(raw, self.slope)
+        grid.comm.stats.set_phase("softmax")
+        soft = distributed_row_softmax(grid, a_block, logits)
+        counter.add(6 * a_block.nnz, "softmax")
+        s_block = a_block.with_data(soft)
+        grid.comm.stats.set_phase("aggregate")
+        partial = spmm(s_block, hp_col, counter=counter)
+        grid.comm.stats.set_phase("redistribute")
+        z_block = reduce_and_redistribute(grid, partial, sequencer)
+        h_next = self.activation.fn(z_block)
+        if not training:
+            return h_next, None
+        return h_next, _DistGATCache(
+            a_block=a_block, h_block=h_block, hp_col=hp_col, hp_row=hp_row,
+            s_block=s_block, raw_values=raw, z_block=z_block,
+        )
+
+    def backward(self, grid, cache, g_block, sequencer,
+                 counter=null_counter(), need_input_grad=True):
+        grid.comm.stats.set_phase("backward")
+        a_block = cache.a_block
+        g_row = row_bcast_from_diagonal(grid, g_block)
+        ds = sddmm_dot(a_block, g_row, cache.hp_col, counter=counter)
+        dlogits = distributed_row_softmax_backward(
+            grid, a_block, cache.s_block.data, ds
+        )
+        draw = dlogits * leaky_relu_grad(cache.raw_values, self.slope)
+        du = grid.row_comm.allreduce(segment_sum(draw, a_block.indptr))
+        dv_local = np.zeros(a_block.shape[1], dtype=draw.dtype)
+        np.add.at(dv_local, a_block.indices, draw)
+        dv = grid.col_comm.allreduce(dv_local)
+        counter.add(4 * a_block.nnz, "gat_vjp")
+
+        # Attention-vector gradients: contribute each complete block
+        # exactly once (grid column 0 / grid row 0 / diagonal), then sum.
+        da_src_local = (
+            cache.hp_row.T @ du if grid.col == 0
+            else np.zeros_like(self.a_src, dtype=du.dtype)
+        )
+        da_dst_local = (
+            cache.hp_col.T @ dv if grid.row == 0
+            else np.zeros_like(self.a_dst, dtype=dv.dtype)
+        )
+        da_src = grid.comm.allreduce(da_src_local)
+        da_dst = grid.comm.allreduce(da_dst_local)
+
+        stg_partial = spmm(cache.s_block.transpose(), g_row, counter=counter)
+        col_partial = stg_partial + (
+            np.outer(dv, self.a_dst) if grid.row == 0
+            else np.zeros_like(stg_partial)
+        )
+        col_term = grid.col_comm.allreduce(col_partial)  # dHp via col terms
+        row_term = np.outer(du, self.a_src)              # complete locally
+
+        # Weight gradient dW = H^T dH' assembled from single-count parts.
+        dw_local = mm(cache.h_block.T, stg_partial, counter=counter)
+        if grid.row == 0:
+            dw_local = dw_local + cache.h_block.T @ np.outer(dv, self.a_dst)
+        if grid.row == grid.col:
+            dw_local = dw_local + cache.h_block.T @ np.outer(du, self.a_src)
+        d_weight = grid.comm.allreduce(dw_local)
+
+        grads = {"weight": d_weight, "a_src": da_src, "a_dst": da_dst}
+        if not need_input_grad:
+            return None, grads
+        dhp = col_term + transpose_exchange(grid, row_term, sequencer)
+        gamma = mm(dhp, self.weight.T, counter=counter)
+        return gamma, grads
+
+    def parameters(self):
+        return {"weight": self.weight, "a_src": self.a_src, "a_dst": self.a_dst}
+
+
+# ----------------------------------------------------------------------
+# GCN (C-GNN special case)
+# ----------------------------------------------------------------------
+@dataclass
+class _DistGCNCache:
+    a_block: CSRMatrix
+    h_block: np.ndarray
+    hp: np.ndarray
+    z_block: np.ndarray
+
+
+class DistGCNLayer(DistGnnLayer):
+    """Distributed GCN layer: pure SpMM + MM, no attention traffic.
+
+    ``a_block`` must be the block of the pre-normalised adjacency.
+    One inference layer costs exactly one broadcast-free SpMM plus the
+    reduce+redistribute — the minimal-communication case of Section 8.4.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: str = "relu",
+        seed: int | np.random.Generator | None = 0,
+        dtype: np.dtype | type = np.float32,
+    ) -> None:
+        super().__init__(activation)
+        self.weight = glorot(make_rng(seed), (in_dim, out_dim), dtype)
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+
+    def forward(self, grid, a_block, h_block, sequencer,
+                counter=null_counter(), training=True):
+        grid.comm.stats.set_phase("aggregate")
+        hp = mm(h_block, self.weight, counter=counter)
+        partial = spmm(a_block, hp, counter=counter)
+        grid.comm.stats.set_phase("redistribute")
+        z_block = reduce_and_redistribute(grid, partial, sequencer)
+        h_next = self.activation.fn(z_block)
+        if not training:
+            return h_next, None
+        return h_next, _DistGCNCache(
+            a_block=a_block, h_block=h_block, hp=hp, z_block=z_block
+        )
+
+    def backward(self, grid, cache, g_block, sequencer,
+                 counter=null_counter(), need_input_grad=True):
+        grid.comm.stats.set_phase("backward")
+        g_row = row_bcast_from_diagonal(grid, g_block)
+        stg_partial = spmm(cache.a_block.transpose(), g_row, counter=counter)
+        d_weight = grid.comm.allreduce(
+            mm(cache.h_block.T, stg_partial, counter=counter)
+        )
+        if not need_input_grad:
+            return None, {"weight": d_weight}
+        col_term = grid.col_comm.allreduce(
+            mm(stg_partial, self.weight.T, counter=counter)
+        )
+        return col_term, {"weight": d_weight}
+
+    def parameters(self):
+        return {"weight": self.weight}
+
+
+
+
+# ----------------------------------------------------------------------
+# Multi-head GAT (extension, mirrors models.gat.MultiHeadGATLayer)
+# ----------------------------------------------------------------------
+@dataclass
+class _DistMultiHeadCache:
+    caches: list
+    z_block: np.ndarray
+
+
+class DistMultiHeadGATLayer(DistGnnLayer):
+    """Distributed multi-head GAT: heads run sequentially on the grid.
+
+    Each head is a full :class:`DistGATLayer` with identity activation;
+    outputs are concatenated (hidden layers) or averaged (output
+    layers) and the wrapper's activation applied once — numerically
+    identical to the single-node :class:`~repro.models.gat.MultiHeadGATLayer`
+    given the same seeds, which the equivalence tests assert. Each head
+    performs its own broadcast/softmax/redistribution, so per-layer
+    communication scales linearly with the head count (as it does for
+    any multi-head implementation that does not batch heads).
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        heads: int = 4,
+        combine: str = "concat",
+        activation: str = "elu",
+        slope: float = 0.2,
+        seed: int | np.random.Generator | None = 0,
+        dtype: np.dtype | type = np.float32,
+    ) -> None:
+        super().__init__(activation)
+        if combine not in ("concat", "mean"):
+            raise ValueError("combine must be 'concat' or 'mean'")
+        rng = make_rng(seed)
+        self.heads = [
+            DistGATLayer(in_dim, out_dim, activation="identity",
+                         slope=slope, seed=rng, dtype=dtype)
+            for _ in range(heads)
+        ]
+        self.combine = combine
+        self.in_dim = in_dim
+        self.out_dim = out_dim * heads if combine == "concat" else out_dim
+
+    def forward(self, grid, a_block, h_block, sequencer,
+                counter=null_counter(), training=True):
+        outputs, caches = [], []
+        for head in self.heads:
+            out, cache = head.forward(
+                grid, a_block, h_block, sequencer,
+                counter=counter, training=training,
+            )
+            outputs.append(out)
+            caches.append(cache)
+        if self.combine == "concat":
+            z_block = np.concatenate(outputs, axis=1)
+        else:
+            z_block = np.mean(outputs, axis=0)
+        h_next = self.activation.fn(z_block)
+        if not training:
+            return h_next, None
+        return h_next, _DistMultiHeadCache(caches=caches, z_block=z_block)
+
+    def backward(self, grid, cache, g_block, sequencer,
+                 counter=null_counter(), need_input_grad=True):
+        n_heads = len(self.heads)
+        if self.combine == "concat":
+            width = g_block.shape[1] // n_heads
+            head_grads = [
+                np.ascontiguousarray(g_block[:, i * width: (i + 1) * width])
+                for i in range(n_heads)
+            ]
+        else:
+            head_grads = [g_block / n_heads] * n_heads
+        gamma = None
+        grads: dict[str, np.ndarray] = {}
+        for index, (head, head_cache, head_g) in enumerate(
+            zip(self.heads, cache.caches, head_grads)
+        ):
+            head_gamma, head_param_grads = head.backward(
+                grid, head_cache, head_g, sequencer,
+                counter=counter, need_input_grad=need_input_grad,
+            )
+            if need_input_grad:
+                gamma = head_gamma if gamma is None else gamma + head_gamma
+            for name, value in head_param_grads.items():
+                grads[f"head{index}.{name}"] = value
+        return gamma, grads
+
+    def parameters(self):
+        params: dict[str, np.ndarray] = {}
+        for index, head in enumerate(self.heads):
+            for name, value in head.parameters().items():
+                params[f"head{index}.{name}"] = value
+        return params

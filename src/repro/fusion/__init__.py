@@ -1,0 +1,36 @@
+"""The op-DAG toolchain: sparsity inference, virtual tensors, fusion.
+
+Implements the design flow of Figure 4 and the fusing optimisation of
+Section 6.2. A model's :math:`\\Psi` is written as a DAG of tensor ops
+(:mod:`repro.fusion.dag`); sparsity inference
+(:mod:`repro.fusion.sparsity`) classifies every intermediate as dense,
+sparse, or *virtual* (an :math:`n \\times n` dense that must never be
+materialised, Section 6.1); the fusion pass (:mod:`repro.fusion.fuse`)
+walks the execution DAG, finds paths from a virtual-producing edge to
+the sparse sampling that consumes it, and collapses them into
+SDDMM-like fused kernels; the interpreter (:mod:`repro.fusion.interp`)
+executes either the fused program (production) or a tile-materialising
+fallback (the ablation baseline quantifying what fusion buys).
+
+Pre-built DAGs for the paper's three models live in
+:mod:`repro.fusion.models`.
+"""
+
+from repro.fusion.dag import OpDag, OpNode
+from repro.fusion.fuse import FusedKernel, fuse
+from repro.fusion.interp import execute
+from repro.fusion.models import agnn_psi_dag, gat_psi_dag, va_psi_dag
+from repro.fusion.sparsity import Sparsity, infer_sparsity
+
+__all__ = [
+    "OpDag",
+    "OpNode",
+    "Sparsity",
+    "infer_sparsity",
+    "fuse",
+    "FusedKernel",
+    "execute",
+    "va_psi_dag",
+    "agnn_psi_dag",
+    "gat_psi_dag",
+]

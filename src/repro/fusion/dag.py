@@ -1,0 +1,200 @@
+"""Tensor-op DAG: the IR of the toolchain (Figure 4).
+
+Nodes carry a symbolic *shape kind* rather than concrete dimensions —
+what matters for sparsity inference and fusion is whether a tensor is
+``n x n`` (graph-sized), ``n x k`` (tall), ``k x k`` / ``k`` (parameter
+sized), or ``n`` (per-vertex). The op vocabulary covers everything the
+three A-GNN :math:`\\Psi` formulations need: matmul, transpose,
+Hadamard product/division, addition, row summation, replication
+(``rep``/``rep^T`` of Table 2), element-wise exp/LeakyReLU/scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["OpNode", "OpDag", "SHAPE_KINDS"]
+
+SHAPE_KINDS = ("nn", "nk", "kn", "kk", "n", "k", "scalar")
+
+#: Ops whose output shape follows these rules (checked at build time).
+_UNARY = {"exp", "leaky_relu", "scale", "reciprocal"}
+_BINARY_ELEMENTWISE = {"hadamard", "divide", "add"}
+
+
+@dataclass
+class OpNode:
+    """One operation (or input) of the DAG."""
+
+    id: int
+    op: str
+    inputs: tuple[int, ...]
+    shape_kind: str
+    name: str | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = self.name or f"%{self.id}"
+        args = ", ".join(f"%{i}" for i in self.inputs)
+        return f"{label} = {self.op}({args}) : {self.shape_kind}"
+
+
+class OpDag:
+    """A small SSA-style tensor-op graph with a builder API.
+
+    Example — the VA attention operator::
+
+        dag = OpDag()
+        h = dag.input("H", "nk")
+        a = dag.input("A", "nn", sparse=True)
+        scores = dag.matmul(h, dag.transpose(h))   # virtual n x n
+        psi = dag.hadamard(a, scores)              # sampled on A
+        dag.set_output(psi)
+    """
+
+    def __init__(self) -> None:
+        self.nodes: list[OpNode] = []
+        self.output: int | None = None
+        self._sparse_inputs: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def _add(self, op: str, inputs: tuple[int, ...], kind: str,
+             name: str | None = None, **attrs) -> int:
+        if kind not in SHAPE_KINDS:
+            raise ValueError(f"unknown shape kind {kind!r}")
+        for i in inputs:
+            if not 0 <= i < len(self.nodes):
+                raise ValueError(f"undefined operand %{i}")
+        node = OpNode(len(self.nodes), op, inputs, kind, name, attrs)
+        self.nodes.append(node)
+        return node.id
+
+    def _kind(self, a: int) -> str:
+        """Shape kind of operand ``a`` (validating the reference)."""
+        if not 0 <= a < len(self.nodes):
+            raise ValueError(f"undefined operand %{a}")
+        return self.nodes[a].shape_kind
+
+    def input(self, name: str, kind: str, sparse: bool = False) -> int:
+        """Declare a graph input; ``sparse=True`` marks a CSR operand."""
+        nid = self._add("input", (), kind, name=name)
+        if sparse:
+            if kind != "nn":
+                raise ValueError("only n x n inputs can be sparse")
+            self._sparse_inputs.add(nid)
+        return nid
+
+    @property
+    def sparse_inputs(self) -> frozenset[int]:
+        return frozenset(self._sparse_inputs)
+
+    # ------------------------------------------------------------------
+    # Builder ops
+    # ------------------------------------------------------------------
+    def matmul(self, a: int, b: int) -> int:
+        """Matrix product; shape kind follows from operand kinds."""
+        ka, kb = self._kind(a), self._kind(b)
+        table = {
+            ("nk", "kn"): "nn",
+            ("nk", "kk"): "nk",
+            ("nn", "nk"): "nk",
+            ("kn", "nk"): "kk",
+            ("kk", "kn"): "kn",
+            ("nk", "k"): "n",
+            ("kk", "k"): "k",
+        }
+        kind = table.get((ka, kb))
+        if kind is None:
+            raise ValueError(f"matmul of {ka} x {kb} not supported")
+        return self._add("matmul", (a, b), kind)
+
+    def transpose(self, a: int) -> int:
+        kind = {"nk": "kn", "kn": "nk", "nn": "nn", "kk": "kk"}.get(
+            self._kind(a)
+        )
+        if kind is None:
+            raise ValueError("cannot transpose a vector node")
+        return self._add("transpose", (a,), kind)
+
+    def hadamard(self, a: int, b: int) -> int:
+        """Element-wise product; with a sparse operand this *samples*."""
+        return self._elementwise("hadamard", a, b)
+
+    def divide(self, a: int, b: int) -> int:
+        """Element-wise (Hadamard) division ``a ⊘ b``."""
+        return self._elementwise("divide", a, b)
+
+    def add(self, a: int, b: int) -> int:
+        return self._elementwise("add", a, b)
+
+    def _elementwise(self, op: str, a: int, b: int) -> int:
+        ka, kb = self._kind(a), self._kind(b)
+        if ka != kb:
+            raise ValueError(f"{op} operands must share a shape kind")
+        return self._add(op, (a, b), ka)
+
+    def exp(self, a: int) -> int:
+        return self._add("exp", (a,), self._kind(a))
+
+    def leaky_relu(self, a: int, slope: float = 0.2) -> int:
+        return self._add(
+            "leaky_relu", (a,), self._kind(a), slope=slope
+        )
+
+    def scale(self, a: int, factor: float) -> int:
+        return self._add("scale", (a,), self._kind(a), factor=factor)
+
+    def reciprocal(self, a: int, eps: float = 0.0) -> int:
+        return self._add("reciprocal", (a,), self._kind(a), eps=eps)
+
+    def row_sum(self, a: int) -> int:
+        """``sum(X) = X 1`` — per-row summation (Table 2)."""
+        kind = {"nn": "n", "nk": "n", "kk": "k"}.get(self._kind(a))
+        if kind is None:
+            raise ValueError("row_sum needs a matrix operand")
+        return self._add("row_sum", (a,), kind)
+
+    def row_norm(self, a: int) -> int:
+        """Per-row L2 norms of an ``n x k`` operand (AGNN's ``n`` vector)."""
+        if self._kind(a) != "nk":
+            raise ValueError("row_norm needs an n x k operand")
+        return self._add("row_norm", (a,), "n")
+
+    def replicate(self, a: int) -> int:
+        """``rep_n(x) = x 1^T`` — column-wise replication to n x n."""
+        if self._kind(a) != "n":
+            raise ValueError("replicate needs an n-vector")
+        return self._add("replicate", (a,), "nn")
+
+    def replicate_t(self, a: int) -> int:
+        """``rep_n^T(x) = 1 x^T`` — row-wise replication to n x n."""
+        if self._kind(a) != "n":
+            raise ValueError("replicate_t needs an n-vector")
+        return self._add("replicate_t", (a,), "nn")
+
+    def outer(self, a: int, b: int) -> int:
+        """Outer product of two n-vectors (AGNN's ``n n^T``)."""
+        if (self._kind(a), self._kind(b)) != ("n", "n"):
+            raise ValueError("outer needs two n-vectors")
+        return self._add("outer", (a, b), "nn")
+
+    def set_output(self, a: int) -> None:
+        self.output = a
+
+    # ------------------------------------------------------------------
+    def topological_order(self) -> list[int]:
+        """Node ids in definition (already topological) order."""
+        return list(range(len(self.nodes)))
+
+    def consumers(self) -> dict[int, list[int]]:
+        """Map node id -> ids of nodes consuming it."""
+        out: dict[int, list[int]] = {node.id: [] for node in self.nodes}
+        for node in self.nodes:
+            for operand in node.inputs:
+                out[operand].append(node.id)
+        return out
+
+    def pretty(self) -> str:
+        """Readable listing of the DAG (used in docs/tests)."""
+        return "\n".join(repr(node) for node in self.nodes)

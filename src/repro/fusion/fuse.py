@@ -1,0 +1,141 @@
+"""The fusing pass (Section 6.2).
+
+Verbatim from the paper: *"we traverse the DAG until we find an edge
+whose output is a virtual matrix. Then, we continue to traverse the
+graph until we meet an edge where the output is a sparse intermediate
+result ... we proceed by fusing all the operations in this path to
+generate an SDDMM-like kernel."*
+
+:func:`fuse` performs exactly this analysis: for every VIRTUAL node it
+follows consumer edges through virtual-valued operations until a
+SPARSE-valued sampling op is reached, then groups the traversed path
+into a :class:`FusedKernel`. The pass also *validates* the program: a
+virtual node whose value escapes through anything other than a sampled
+path (or a tolerated reduction) can never be executed without
+materialising an :math:`n \\times n` dense, so it is rejected at
+compile time rather than at 10^18-byte allocation time.
+
+The fused program is interpreted by :mod:`repro.fusion.interp`, whose
+fused mode evaluates each kernel only at the stored entries of the
+sampling pattern — the "basic form of the kernels iterates over the
+non-zero values of the sparse matrix performing the sampling".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fusion.dag import OpDag
+from repro.fusion.sparsity import Sparsity, infer_sparsity
+
+__all__ = ["FusedKernel", "FusedProgram", "fuse"]
+
+#: Ops that can traverse a virtual value without materialising it.
+_EDGEWISE = {"hadamard", "divide", "add", "exp", "leaky_relu", "scale",
+             "reciprocal", "transpose"}
+
+
+@dataclass
+class FusedKernel:
+    """One SDDMM-like fused kernel.
+
+    Attributes
+    ----------
+    output:
+        The SPARSE node whose stored values the kernel produces.
+    fused_nodes:
+        The VIRTUAL (and intermediate edge-wise) node ids folded into
+        the kernel — these never materialise.
+    dense_operands:
+        DENSE node ids the kernel reads (tall feature matrices,
+        vectors) — its gather sources.
+    """
+
+    output: int
+    fused_nodes: tuple[int, ...]
+    dense_operands: tuple[int, ...]
+
+    def describe(self, dag: OpDag) -> str:
+        """Human-readable kernel summary for reports/tests."""
+        ops = [dag.nodes[i].op for i in self.fused_nodes]
+        return f"SDDMM-like[{dag.nodes[self.output].op}] fusing {ops}"
+
+
+@dataclass
+class FusedProgram:
+    """Result of the pass: the DAG plus its kernel grouping."""
+
+    dag: OpDag
+    sparsity: dict[int, Sparsity]
+    kernels: list[FusedKernel] = field(default_factory=list)
+
+    @property
+    def virtual_nodes(self) -> list[int]:
+        return [i for i, s in self.sparsity.items() if s is Sparsity.VIRTUAL]
+
+
+def fuse(dag: OpDag) -> FusedProgram:
+    """Run sparsity inference + the path-fusing analysis.
+
+    Raises ``ValueError`` if some virtual intermediate cannot be fused
+    away (its value would have to materialise).
+    """
+    sparsity = infer_sparsity(dag)
+    consumers = dag.consumers()
+
+    # Validate: every virtual node's consumers must themselves be
+    # virtual edge-wise ops or sparse sampling ops.
+    for node in dag.nodes:
+        if sparsity[node.id] is not Sparsity.VIRTUAL:
+            continue
+        uses = consumers[node.id]
+        if not uses and node.id != dag.output:
+            continue  # dead virtual — harmless
+        if node.id == dag.output:
+            raise ValueError(
+                f"virtual node %{node.id} is the DAG output; it would "
+                "materialise an n x n dense matrix"
+            )
+        for user in uses:
+            user_node = dag.nodes[user]
+            user_sparsity = sparsity[user]
+            consumable = (
+                user_node.op in _EDGEWISE
+                and user_sparsity in (Sparsity.VIRTUAL, Sparsity.SPARSE)
+            )
+            if not consumable:
+                raise ValueError(
+                    f"virtual node %{node.id} escapes through "
+                    f"{user_node.op} (%{user}); cannot fuse"
+                )
+
+    # Group each sparse sampling op with the maximal virtual subgraph
+    # feeding it (the paper's virtual->...->sparse path).
+    kernels: list[FusedKernel] = []
+    for node in dag.nodes:
+        if sparsity[node.id] is not Sparsity.SPARSE or node.op == "input":
+            continue
+        # Walk upstream collecting reachable virtual nodes.
+        fused: list[int] = []
+        dense_ops: list[int] = []
+        stack = [i for i in node.inputs]
+        seen = set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if sparsity[current] is Sparsity.VIRTUAL:
+                fused.append(current)
+                stack.extend(dag.nodes[current].inputs)
+            elif sparsity[current] is Sparsity.DENSE:
+                dense_ops.append(current)
+        if fused:
+            kernels.append(
+                FusedKernel(
+                    output=node.id,
+                    fused_nodes=tuple(sorted(fused)),
+                    dense_operands=tuple(sorted(dense_ops)),
+                )
+            )
+    return FusedProgram(dag=dag, sparsity=sparsity, kernels=kernels)

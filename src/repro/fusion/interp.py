@@ -1,0 +1,408 @@
+"""Executors for fused op-DAG programs.
+
+Three modes, sharing one evaluation engine:
+
+``"fused"``
+    Production semantics: SPARSE nodes are computed by evaluating their
+    upstream (possibly virtual) expressions *only at the stored entries*
+    of the adjacency pattern — each :class:`~repro.fusion.fuse.FusedKernel`
+    becomes one gather + vectorised arithmetic sweep over the edges.
+``"tiled"``
+    The unfused ablation: virtual :math:`n \\times n` intermediates ARE
+    materialised, but one row tile at a time (bounded memory), and the
+    sampling ops read from the tiles. Models what a tensor framework
+    without the fusion pass must do, at :math:`O(n^2/\\text{tiles})`
+    temporary cost per tile — the fusion benchmark quantifies the gap.
+``"dense"``
+    Fully materialised oracle for tiny graphs (tests only).
+
+Inputs are bound by node *name*; the single sparse input binds a
+:class:`~repro.tensor.csr.CSRMatrix` whose pattern every SPARSE node
+shares. Outputs: a SPARSE result returns a CSR with the computed edge
+values; DENSE results return arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.fusion.dag import OpDag
+from repro.fusion.fuse import FusedProgram, fuse
+from repro.fusion.sparsity import Sparsity
+from repro.tensor.csr import CSRMatrix
+from repro.tensor.segment import segment_sum
+
+__all__ = ["execute"]
+
+
+def execute(
+    program: OpDag | FusedProgram,
+    inputs: dict[str, Any],
+    mode: str = "fused",
+    tile_rows: int = 128,
+):
+    """Run a psi DAG; returns the output node's value.
+
+    Parameters
+    ----------
+    program:
+        An :class:`OpDag` (fused on the fly) or a pre-fused program.
+    inputs:
+        Name -> value bindings; the sparse adjacency input must be a
+        :class:`CSRMatrix`.
+    mode:
+        ``"fused"``, ``"tiled"`` or ``"dense"``.
+    tile_rows:
+        Row-tile height for the tiled executor.
+    """
+    if isinstance(program, OpDag):
+        program = fuse(program)
+    dag = program.dag
+    if dag.output is None:
+        raise ValueError("DAG has no output set")
+    if mode not in ("fused", "tiled", "dense"):
+        raise ValueError("mode must be 'fused', 'tiled' or 'dense'")
+
+    pattern = _find_pattern(dag, inputs)
+    engine = _Engine(program, inputs, pattern, mode, tile_rows)
+    return engine.result(dag.output)
+
+
+def _find_pattern(dag: OpDag, inputs: dict[str, Any]) -> CSRMatrix | None:
+    pattern = None
+    for nid in dag.sparse_inputs:
+        name = dag.nodes[nid].name
+        value = inputs.get(name)
+        if not isinstance(value, CSRMatrix):
+            raise TypeError(f"sparse input {name!r} must be a CSRMatrix")
+        if pattern is not None and value.nnz != pattern.nnz:
+            raise ValueError("all sparse inputs must share one pattern")
+        pattern = value
+    return pattern
+
+
+class _Engine:
+    """Evaluates node values with lazy virtual semantics."""
+
+    def __init__(self, program: FusedProgram, inputs, pattern, mode,
+                 tile_rows) -> None:
+        self.dag = program.dag
+        self.sparsity = program.sparsity
+        self.inputs = inputs
+        self.pattern = pattern
+        self.mode = mode
+        self.tile_rows = tile_rows
+        self._dense: dict[int, np.ndarray] = {}
+        self._edge: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def result(self, nid: int):
+        if self.sparsity[nid] is Sparsity.SPARSE:
+            return self.pattern.with_data(self.edge_values(nid))
+        if self.sparsity[nid] is Sparsity.VIRTUAL:
+            raise ValueError("virtual output cannot be returned")
+        return self.value(nid)
+
+    # ------------------------------------------------------------------
+    # Dense-value evaluation (eager)
+    # ------------------------------------------------------------------
+    def value(self, nid: int) -> np.ndarray:
+        if nid in self._dense:
+            return self._dense[nid]
+        node = self.dag.nodes[nid]
+        sp = self.sparsity[nid]
+        if sp is Sparsity.SPARSE:
+            raise RuntimeError("sparse node accessed as dense")
+        if sp is Sparsity.VIRTUAL and self.mode != "dense":
+            raise RuntimeError(
+                f"virtual node %{nid} materialisation blocked in "
+                f"{self.mode} mode"
+            )
+        op = node.op
+        if op == "input":
+            value = self.inputs[node.name]
+            out = (
+                value.to_dense()
+                if isinstance(value, CSRMatrix)
+                else np.asarray(value)
+            )
+        elif op == "matmul":
+            out = self._matmul_dense(node)
+        elif op == "transpose":
+            out = self.value(node.inputs[0]).T
+        elif op in ("hadamard", "divide", "add"):
+            a = self.value(node.inputs[0])
+            b = self.value(node.inputs[1])
+            out = {"hadamard": a * b, "divide": _safe_div(a, b),
+                   "add": a + b}[op]
+        elif op == "exp":
+            out = np.exp(self.value(node.inputs[0]))
+        elif op == "leaky_relu":
+            x = self.value(node.inputs[0])
+            out = np.where(x > 0, x, node.attrs["slope"] * x)
+        elif op == "scale":
+            out = node.attrs["factor"] * self.value(node.inputs[0])
+        elif op == "reciprocal":
+            out = 1.0 / np.maximum(
+                self.value(node.inputs[0]), node.attrs.get("eps", 0.0) or 1e-300
+            )
+        elif op == "row_sum":
+            operand = node.inputs[0]
+            if self.sparsity[operand] is Sparsity.SPARSE:
+                out = segment_sum(self.edge_values(operand),
+                                  self.pattern.indptr)
+            else:
+                out = self.value(operand).sum(axis=1)
+        elif op == "row_norm":
+            x = self.value(node.inputs[0])
+            out = np.sqrt(np.einsum("ij,ij->i", x, x))
+        elif op in ("replicate", "replicate_t", "outer"):
+            out = self._replicate_dense(node)
+        else:  # pragma: no cover
+            raise ValueError(f"cannot evaluate op {op!r}")
+        self._dense[nid] = out
+        return out
+
+    def _matmul_dense(self, node) -> np.ndarray:
+        a = self.value(node.inputs[0])
+        b = self.value(node.inputs[1])
+        return a @ b
+
+    def _replicate_dense(self, node) -> np.ndarray:
+        if node.op == "outer":
+            a = self.value(node.inputs[0])
+            b = self.value(node.inputs[1])
+            return np.outer(a, b)
+        x = self.value(node.inputs[0])
+        n = x.shape[0]
+        if node.op == "replicate":
+            return np.broadcast_to(x[:, None], (n, n)).copy()
+        return np.broadcast_to(x[None, :], (n, n)).copy()
+
+    # ------------------------------------------------------------------
+    # Edge-value evaluation of SPARSE nodes
+    # ------------------------------------------------------------------
+    def edge_values(self, nid: int) -> np.ndarray:
+        if nid in self._edge:
+            return self._edge[nid]
+        if self.pattern is None:
+            raise RuntimeError("no sparse pattern bound")
+        rows = self.pattern.expand_rows()
+        cols = self.pattern.indices
+        if self.mode == "fused":
+            out = self._eval_at(nid, rows, cols)
+        elif self.mode == "dense":
+            node = self.dag.nodes[nid]
+            if node.op == "input":
+                out = self.inputs[node.name].data
+            else:
+                dense = self._dense_of_sparse(nid)
+                out = dense[rows, cols]
+        else:  # tiled
+            out = self._eval_tiled(nid, rows, cols)
+        self._edge[nid] = out
+        return out
+
+    def _dense_of_sparse(self, nid: int) -> np.ndarray:
+        """Dense-oracle evaluation of a SPARSE node (dense mode only).
+
+        Mask-aware recursion: a sparse tensor's op applies to *stored
+        values only* (e.g. ``exp`` of a sparse matrix does not turn
+        absent entries into ones), so the result is re-masked after
+        every sparse-valued op. This is the executable specification
+        the fused/tiled paths are tested against on tiny graphs.
+        """
+        node = self.dag.nodes[nid]
+        mask = self.pattern.to_dense() != 0
+        if node.op == "input":
+            return self.inputs[node.name].to_dense()
+        operands = []
+        for operand in node.inputs:
+            if self.sparsity[operand] is Sparsity.SPARSE:
+                operands.append(self._dense_of_sparse(operand))
+            else:
+                # Virtual/dense operands evaluate eagerly (dense mode).
+                operands.append(self.value(operand))
+        op = node.op
+        if op in ("hadamard", "divide", "add"):
+            a, b = operands
+            out = {"hadamard": a * b, "divide": _safe_div(a, b),
+                   "add": a + b}[op]
+        elif op in ("exp", "leaky_relu", "scale", "reciprocal"):
+            out = _apply_unary(op, operands[0], node.attrs)
+        else:
+            raise ValueError(f"sparse op {op!r} unsupported in dense mode")
+        return np.where(mask, out, 0.0)
+
+    def _eval_at(self, nid: int, rows: np.ndarray, cols: np.ndarray
+                 ) -> np.ndarray:
+        """Recursive per-edge evaluation — the fused SDDMM-like kernel."""
+        node = self.dag.nodes[nid]
+        sp = self.sparsity[nid]
+        op = node.op
+        if sp is Sparsity.SPARSE:
+            if op == "input":
+                base = self.inputs[node.name].data
+                return base if rows is None else base
+            # Sampling elementwise op: sparse operand keeps edge values,
+            # the other side is evaluated at the edges.
+            if op in ("hadamard", "divide", "add"):
+                a, b = node.inputs
+                va = self._operand_at(a, rows, cols)
+                vb = self._operand_at(b, rows, cols)
+                return {"hadamard": va * vb, "divide": _safe_div(va, vb),
+                        "add": va + vb}[op]
+            if op in ("exp", "leaky_relu", "scale", "reciprocal"):
+                v = self._operand_at(node.inputs[0], rows, cols)
+                return _apply_unary(op, v, node.attrs)
+            raise ValueError(f"sparse op {op!r} unsupported in fused mode")
+        if sp is Sparsity.VIRTUAL:
+            if op == "matmul":
+                a = self.value(node.inputs[0])
+                b = self.value(node.inputs[1])
+                return np.einsum("ij,ij->i", a[rows], b[:, cols].T)
+            if op == "transpose":
+                return self._operand_at(node.inputs[0], cols, rows)
+            if op == "replicate":
+                return self.value(node.inputs[0])[rows]
+            if op == "replicate_t":
+                return self.value(node.inputs[0])[cols]
+            if op == "outer":
+                return (
+                    self.value(node.inputs[0])[rows]
+                    * self.value(node.inputs[1])[cols]
+                )
+            if op in ("hadamard", "divide", "add"):
+                va = self._operand_at(node.inputs[0], rows, cols)
+                vb = self._operand_at(node.inputs[1], rows, cols)
+                return {"hadamard": va * vb, "divide": _safe_div(va, vb),
+                        "add": va + vb}[op]
+            if op in ("exp", "leaky_relu", "scale", "reciprocal"):
+                v = self._operand_at(node.inputs[0], rows, cols)
+                return _apply_unary(op, v, node.attrs)
+            raise ValueError(f"virtual op {op!r} unsupported in fused mode")
+        raise RuntimeError("dense node reached edge evaluation")
+
+    def _operand_at(self, nid: int, rows, cols) -> np.ndarray:
+        sp = self.sparsity[nid]
+        if sp is Sparsity.DENSE:
+            raise RuntimeError(
+                "dense n x n operand in elementwise graph op"
+            )
+        if sp is Sparsity.SPARSE:
+            # Edge values are aligned with the pattern's edge order.
+            return self.edge_values(nid)
+        return self._eval_at(nid, rows, cols)
+
+    # ------------------------------------------------------------------
+    def _eval_tiled(self, nid: int, rows, cols) -> np.ndarray:
+        """Tile-materialising evaluation (the unfused ablation).
+
+        Sparse-valued ops stay edge-wise (a framework keeps sparse
+        storage sparse); only their *virtual* operands are
+        materialised, one row tile at a time, and sampled — the cost a
+        tensor framework without the fusion pass pays.
+        """
+        n = self.pattern.shape[0]
+        out = np.empty(self.pattern.nnz)
+        indptr = self.pattern.indptr
+        for t0 in range(0, n, self.tile_rows):
+            t1 = min(t0 + self.tile_rows, n)
+            e0, e1 = int(indptr[t0]), int(indptr[t1])
+            if e0 == e1:
+                continue
+            out[e0:e1] = self._edges_in_tile(
+                nid, rows[e0:e1], cols[e0:e1], e0, e1, t0, t1
+            )
+        return out
+
+    def _edges_in_tile(self, nid, rows, cols, e0, e1, t0, t1) -> np.ndarray:
+        """Edge values of a SPARSE node restricted to a row tile."""
+        node = self.dag.nodes[nid]
+        op = node.op
+        if op == "input":
+            return self.inputs[node.name].data[e0:e1]
+        operands = []
+        for operand in node.inputs:
+            sp = self.sparsity[operand]
+            if sp is Sparsity.SPARSE:
+                operands.append(
+                    self._edges_in_tile(operand, rows, cols, e0, e1, t0, t1)
+                )
+            elif sp is Sparsity.VIRTUAL:
+                tile = self._tile_value(operand, t0, t1)
+                operands.append(tile[rows - t0, cols])
+            else:
+                raise RuntimeError(
+                    "dense n x n operand in sampled elementwise op"
+                )
+        if op in ("hadamard", "divide", "add"):
+            a, b = operands
+            return {"hadamard": a * b, "divide": _safe_div(a, b),
+                    "add": a + b}[op]
+        if op in ("exp", "leaky_relu", "scale", "reciprocal"):
+            return _apply_unary(op, operands[0], node.attrs)
+        raise ValueError(f"sparse op {op!r} unsupported in tiled mode")
+
+    def _tile_value(self, nid: int, t0: int, t1: int) -> np.ndarray:
+        """Materialise rows [t0, t1) of an n x n node (tiled mode)."""
+        node = self.dag.nodes[nid]
+        op = node.op
+        sp = self.sparsity[nid]
+        if sp is Sparsity.SPARSE and op == "input":
+            block = self.inputs[node.name].extract_block(
+                t0, t1, 0, self.pattern.shape[1]
+            )
+            return block.to_dense()
+        if op == "matmul":
+            a = self.value(node.inputs[0])
+            b = self.value(node.inputs[1])
+            return a[t0:t1] @ b
+        if op == "transpose":
+            raise NotImplementedError(
+                "tiled executor does not transpose n x n operands"
+            )
+        if op == "replicate":
+            return np.broadcast_to(
+                self.value(node.inputs[0])[t0:t1, None],
+                (t1 - t0, self.pattern.shape[1]),
+            )
+        if op == "replicate_t":
+            return np.broadcast_to(
+                self.value(node.inputs[0])[None, :],
+                (t1 - t0, self.pattern.shape[1]),
+            )
+        if op == "outer":
+            return np.outer(
+                self.value(node.inputs[0])[t0:t1], self.value(node.inputs[1])
+            )
+        if op in ("hadamard", "divide", "add"):
+            a = self._tile_value(node.inputs[0], t0, t1)
+            b = self._tile_value(node.inputs[1], t0, t1)
+            return {"hadamard": a * b, "divide": _safe_div(a, b),
+                    "add": a + b}[op]
+        if op in ("exp", "leaky_relu", "scale", "reciprocal"):
+            return _apply_unary(
+                op, self._tile_value(node.inputs[0], t0, t1), node.attrs
+            )
+        if op == "row_sum" or op == "row_norm":
+            raise NotImplementedError("vector ops are not tiled")
+        raise ValueError(f"cannot tile op {op!r}")
+
+
+def _safe_div(a, b):
+    return a / np.where(b == 0, 1.0, b) * (b != 0)
+
+
+def _apply_unary(op: str, v: np.ndarray, attrs: dict) -> np.ndarray:
+    if op == "exp":
+        return np.exp(v)
+    if op == "leaky_relu":
+        return np.where(v > 0, v, attrs["slope"] * v)
+    if op == "scale":
+        return attrs["factor"] * v
+    if op == "reciprocal":
+        return 1.0 / np.maximum(v, attrs.get("eps", 0.0) or 1e-300)
+    raise ValueError(op)

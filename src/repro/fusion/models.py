@@ -1,0 +1,83 @@
+"""Pre-built :math:`\\Psi` DAGs for VA, AGNN and GAT (Figure 1).
+
+These are the global tensor formulations written in the toolchain IR —
+the programmability demonstration of the paper: each model is a handful
+of Table-2 building blocks, and the fusion pass turns every virtual
+intermediate into an SDDMM-like kernel automatically. The executed
+results match the hand-fused kernels of :mod:`repro.core.psi` (tests
+assert it).
+
+Inputs expected at execution:
+
+* ``va_psi_dag`` — ``H`` (n x k), ``A`` (sparse CSR).
+* ``agnn_psi_dag`` — ``H``, ``A``.
+* ``gat_psi_dag`` — ``H``, ``A``, ``W`` (k x k'), ``a_src``/``a_dst``
+  (k' vectors).
+"""
+
+from __future__ import annotations
+
+from repro.fusion.dag import OpDag
+
+__all__ = ["va_psi_dag", "agnn_psi_dag", "gat_psi_dag"]
+
+
+def _graph_softmax(dag: OpDag, scores: int) -> int:
+    """Attach the Section-4.2 softmax: exp, row-sum, replicate, divide.
+
+    ``scores`` must be SPARSE; the replicated denominator is virtual
+    and fuses into the final sampled division.
+    """
+    exp = dag.exp(scores)
+    denom = dag.replicate(dag.row_sum(exp))
+    return dag.divide(exp, denom)
+
+
+def va_psi_dag() -> OpDag:
+    """:math:`\\Psi_{VA} = \\mathcal{A} \\odot (H H^T)`."""
+    dag = OpDag()
+    h = dag.input("H", "nk")
+    a = dag.input("A", "nn", sparse=True)
+    gram = dag.matmul(h, dag.transpose(h))  # virtual n x n
+    psi = dag.hadamard(a, gram)             # sampled on A
+    dag.set_output(psi)
+    return dag
+
+
+def agnn_psi_dag(beta: float = 1.0) -> OpDag:
+    """:math:`\\Psi_{AGNN} = \\mathrm{sm}(\\mathcal{A} \\odot \\beta
+    (H H^T \\oslash n n^T))`."""
+    dag = OpDag()
+    h = dag.input("H", "nk")
+    a = dag.input("A", "nn", sparse=True)
+    gram = dag.matmul(h, dag.transpose(h))          # virtual
+    norms = dag.row_norm(h)
+    denom = dag.outer(norms, norms)                 # virtual n n^T
+    cos = dag.divide(gram, denom)                   # virtual
+    masked = dag.hadamard(a, dag.scale(cos, beta))  # sampled
+    dag.set_output(_graph_softmax(dag, masked))
+    return dag
+
+
+def gat_psi_dag(slope: float = 0.2) -> OpDag:
+    """:math:`\\Psi_{GAT} = \\mathrm{sm}(\\mathcal{A} \\odot
+    \\mathrm{LeakyReLU}(\\mathrm{rep}(HWa) + \\mathrm{rep}^T(HW\\bar a)))`.
+
+    The Figure-2 derivation verbatim: the concatenated dot product
+    splits into :math:`u_i + v_j`, expressed as two replications of the
+    projected score vectors.
+    """
+    dag = OpDag()
+    h = dag.input("H", "nk")
+    a = dag.input("A", "nn", sparse=True)
+    w = dag.input("W", "kk")
+    a_src = dag.input("a_src", "k")
+    a_dst = dag.input("a_dst", "k")
+    hw = dag.matmul(h, w)
+    u = dag.matmul(hw, a_src)
+    v = dag.matmul(hw, a_dst)
+    c = dag.add(dag.replicate(u), dag.replicate_t(v))  # virtual C
+    logits = dag.leaky_relu(c, slope=slope)            # virtual
+    masked = dag.hadamard(a, logits)                   # sampled
+    dag.set_output(_graph_softmax(dag, masked))
+    return dag

@@ -1,0 +1,42 @@
+"""COO adjacency IO in the artifact's compressed-NumPy format.
+
+The artifact loads adjacency matrices "in the COO format stored in the
+compressed numpy (.npz) file format"; these helpers write and read that
+layout (``row``, ``col``, ``data``, ``shape`` arrays).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.tensor.coo import COOMatrix
+
+__all__ = ["save_npz", "load_npz"]
+
+
+def save_npz(path: str | Path, coo: COOMatrix) -> None:
+    """Write a COO matrix to ``path`` (compressed npz)."""
+    np.savez_compressed(
+        Path(path),
+        row=coo.rows,
+        col=coo.cols,
+        data=coo.data,
+        shape=np.asarray(coo.shape, dtype=np.int64),
+    )
+
+
+def load_npz(path: str | Path) -> COOMatrix:
+    """Read a COO matrix previously written by :func:`save_npz`.
+
+    The vertex and edge counts come from the file itself — matching
+    the artifact's behaviour where ``--vertices``/``--edges`` are
+    ignored when ``--file`` is given.
+    """
+    with np.load(Path(path)) as blob:
+        missing = {"row", "col", "data", "shape"} - set(blob.files)
+        if missing:
+            raise ValueError(f"npz file missing arrays: {sorted(missing)}")
+        shape = tuple(int(x) for x in blob["shape"])
+        return COOMatrix(blob["row"], blob["col"], blob["data"], shape=shape)

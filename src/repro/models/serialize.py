@@ -1,0 +1,58 @@
+"""Model checkpointing: save/load all parameters as a compressed npz.
+
+Parameters are stored flat under ``layer{i}.{name}`` keys; loading
+writes *in place* into an already-constructed model of the same
+architecture, so the checkpoint stays a pure value file (no pickled
+code, no architecture metadata beyond a shape check).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.models.base import GnnModel
+
+__all__ = ["save_model", "load_model"]
+
+
+def save_model(model: GnnModel, path: str | Path) -> None:
+    """Write every layer's parameters to ``path`` (npz)."""
+    blobs: dict[str, np.ndarray] = {}
+    for index, params in enumerate(model.parameters()):
+        for name, value in params.items():
+            blobs[f"layer{index}.{name}"] = np.asarray(value)
+    np.savez_compressed(Path(path), **blobs)
+
+
+def load_model(model: GnnModel, path: str | Path) -> GnnModel:
+    """Load parameters saved by :func:`save_model` into ``model``.
+
+    The model must have the same architecture (layer count, parameter
+    names, shapes); mismatches raise ``ValueError`` rather than
+    silently truncating.
+    """
+    with np.load(Path(path)) as blob:
+        available = set(blob.files)
+        expected = {
+            f"layer{index}.{name}"
+            for index, params in enumerate(model.parameters())
+            for name in params
+        }
+        if available != expected:
+            missing = sorted(expected - available)
+            extra = sorted(available - expected)
+            raise ValueError(
+                f"checkpoint mismatch: missing={missing}, extra={extra}"
+            )
+        for index, params in enumerate(model.parameters()):
+            for name, value in params.items():
+                stored = blob[f"layer{index}.{name}"]
+                if stored.shape != np.asarray(value).shape:
+                    raise ValueError(
+                        f"shape mismatch for layer{index}.{name}: "
+                        f"{stored.shape} vs {np.asarray(value).shape}"
+                    )
+                np.copyto(value, stored.astype(value.dtype))
+    return model

@@ -1,0 +1,158 @@
+"""Vanilla-attention (VA) model — Figure 1, with backward per Eqs. 7–13.
+
+Forward (global formulation):
+
+.. math:: \\Psi = \\mathcal{A} \\odot (H H^T), \\qquad
+          Z = \\Psi H W, \\qquad H' = \\sigma(Z)
+
+Backward (Eq. 11–13), in this module's notation with
+:math:`M = G W^T`, :math:`N = \\mathcal{A} \\odot (M H^T)`:
+
+.. math:: \\Gamma = N_+ H + \\Psi^T M, \\qquad
+          Y = H^T \\Psi^T G
+
+The :math:`N_+ H` term is :func:`repro.core.psi.psi_va_vjp`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.psi import psi_va, psi_va_vjp
+from repro.models.base import GnnLayer, GnnModel, glorot
+from repro.tensor.csr import CSRMatrix
+from repro.tensor.kernels import mm, sddmm_dot, spmm
+from repro.util.counters import FlopCounter, null_counter
+from repro.util.rng import make_rng
+
+__all__ = ["VALayer", "va_model"]
+
+
+@dataclass
+class _VACache:
+    a: CSRMatrix
+    h: np.ndarray
+    s: CSRMatrix
+    psi_cache: Any
+    hp: np.ndarray | None  # H W  (project_first)
+    ah: np.ndarray | None  # S H  (aggregate_first)
+    z: np.ndarray
+
+
+class VALayer(GnnLayer):
+    """One VA layer :math:`\\sigma((\\mathcal{A} \\odot H H^T)\\, H W)`.
+
+    Parameters
+    ----------
+    in_dim, out_dim:
+        Feature dimensions.
+    activation:
+        Non-linearity :math:`\\sigma`.
+    order:
+        :math:`\\Phi \\circ \\oplus` composition (Section 4.4):
+        ``"project_first"`` evaluates :math:`\\Psi (H W)`,
+        ``"aggregate_first"`` evaluates :math:`(\\Psi H) W`.
+    seed:
+        Weight-initialisation seed.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: str = "relu",
+        order: str = "project_first",
+        seed: int | np.random.Generator | None = 0,
+        dtype: np.dtype | type = np.float32,
+    ) -> None:
+        super().__init__(activation)
+        if order not in ("project_first", "aggregate_first"):
+            raise ValueError("invalid composition order")
+        self.weight = glorot(make_rng(seed), (in_dim, out_dim), dtype)
+        self.order = order
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        a: CSRMatrix,
+        h: np.ndarray,
+        counter: FlopCounter = null_counter(),
+        training: bool = True,
+    ) -> tuple[np.ndarray, _VACache | None]:
+        s, psi_cache = psi_va(a, h, counter=counter)
+        hp = ah = None
+        if self.order == "project_first":
+            hp = mm(h, self.weight, counter=counter)
+            z = spmm(s, hp, counter=counter)
+        else:
+            ah = spmm(s, h, counter=counter)
+            z = mm(ah, self.weight, counter=counter)
+        h_next = self.activation.fn(z)
+        if not training:
+            return h_next, None
+        return h_next, _VACache(
+            a=a, h=h, s=s, psi_cache=psi_cache, hp=hp, ah=ah, z=z
+        )
+
+    # ------------------------------------------------------------------
+    def backward(
+        self,
+        cache: _VACache,
+        g: np.ndarray,
+        counter: FlopCounter = null_counter(),
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        s = cache.s
+        s_t = s.transpose()
+        if self.order == "project_first":
+            st_g = spmm(s_t, g, counter=counter)
+            d_weight = mm(cache.h.T, st_g, counter=counter)
+            dh = mm(st_g, self.weight.T, counter=counter)
+            ds = sddmm_dot(cache.a, g, cache.hp, counter=counter)
+        else:
+            d_weight = mm(cache.ah.T, g, counter=counter)
+            m = mm(g, self.weight.T, counter=counter)
+            dh = spmm(s_t, m, counter=counter)
+            ds = sddmm_dot(cache.a, m, cache.h, counter=counter)
+        dh = dh + psi_va_vjp(ds, cache.psi_cache, counter=counter)
+        return dh, {"weight": d_weight}
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> dict[str, np.ndarray]:
+        return {"weight": self.weight}
+
+
+def va_model(
+    in_dim: int,
+    hidden_dim: int,
+    out_dim: int,
+    num_layers: int = 3,
+    activation: str = "relu",
+    order: str = "project_first",
+    seed: int = 0,
+    dtype: np.dtype | type = np.float32,
+) -> GnnModel:
+    """Build an ``num_layers``-deep VA model.
+
+    Hidden layers use ``activation``; the final layer is linear
+    (identity activation) so its output feeds a downstream loss
+    directly, following the usual GNN benchmark setup.
+    """
+    rng = make_rng(seed)
+    dims = [in_dim] + [hidden_dim] * (num_layers - 1) + [out_dim]
+    layers = [
+        VALayer(
+            dims[i],
+            dims[i + 1],
+            activation=activation if i + 1 < num_layers else "identity",
+            order=order,
+            seed=rng,
+            dtype=dtype,
+        )
+        for i in range(num_layers)
+    ]
+    return GnnModel(layers)

@@ -1,0 +1,96 @@
+"""SPMD launcher: one thread per simulated rank.
+
+``run_spmd(p, fn, ...)`` builds a fabric, spawns ``p`` threads each
+executing ``fn(comm, **kwargs)``, joins them, propagates the first
+failure (aborting the fabric so no rank hangs), and returns every
+rank's return value together with the aggregated traffic statistics.
+
+NumPy releases the GIL inside its kernels, so ranks overlap on real
+cores; correctness never depends on it, because all synchronisation
+goes through the fabric.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.runtime.communicator import Communicator
+from repro.runtime.fabric import Fabric
+from repro.runtime.stats import CommStats, RunStats
+
+__all__ = ["run_spmd", "SpmdResult"]
+
+
+@dataclass
+class SpmdResult:
+    """Outcome of one SPMD execution."""
+
+    values: list[Any]
+    stats: RunStats
+
+
+def run_spmd(
+    size: int,
+    fn: Callable[..., Any],
+    timeout: float = 120.0,
+    trace: bool = False,
+    **kwargs: Any,
+) -> SpmdResult:
+    """Execute ``fn(comm, **kwargs)`` on ``size`` simulated ranks.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks.
+    fn:
+        The rank program; receives its :class:`Communicator` as the
+        first argument. All ranks get identical ``kwargs`` (SPMD) —
+        rank-dependent behaviour keys off ``comm.rank``.
+    timeout:
+        Fabric deadlock guard in seconds.
+    trace:
+        Record a chronological send trace per rank (see
+        :mod:`repro.runtime.trace`) for debugging new operators.
+
+    Returns
+    -------
+    :class:`SpmdResult` with per-rank return values (rank order) and
+    traffic statistics.
+    """
+    if size < 1:
+        raise ValueError("need at least one rank")
+    fabric = Fabric(size, timeout=timeout)
+    all_stats = [CommStats(rank, trace=trace) for rank in range(size)]
+    values: list[Any] = [None] * size
+    errors: list[tuple[int, BaseException]] = []
+    error_lock = threading.Lock()
+
+    def worker(rank: int) -> None:
+        comm = Communicator(fabric, rank, all_stats[rank])
+        try:
+            values[rank] = fn(comm, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - propagated below
+            with error_lock:
+                errors.append((rank, exc))
+            fabric.abort()
+
+    threads = [
+        threading.Thread(target=worker, args=(rank,), name=f"rank-{rank}")
+        for rank in range(size)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    if errors:
+        # Prefer the root cause: a rank that failed on its own, not one
+        # unblocked by the fabric abort after someone else had failed.
+        from repro.runtime.fabric import FabricTimeoutError
+
+        primary = [e for e in errors if not isinstance(e[1], FabricTimeoutError)]
+        rank, exc = min(primary or errors, key=lambda item: item[0])
+        raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+    return SpmdResult(values=values, stats=RunStats(per_rank=all_stats))

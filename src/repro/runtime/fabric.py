@@ -1,0 +1,94 @@
+"""In-process message fabric backing the simulated MPI ranks.
+
+Each simulated rank is a Python thread; messages are NumPy arrays (or
+arbitrary payloads) deposited into per-``(src, dst, tag)`` mailboxes.
+Blocking ``recv`` waits on a condition variable, so rank interleaving
+is handled by the OS scheduler exactly as in a real multi-process MPI
+job — with the obvious difference that "transfer" is a reference hand-
+off. Communication *cost* is therefore accounted separately (see
+:mod:`repro.runtime.stats`), not timed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict, deque
+from typing import Any, Hashable
+
+__all__ = ["Fabric", "FabricTimeoutError"]
+
+#: Default seconds a blocked receive waits before declaring deadlock.
+DEFAULT_TIMEOUT = 60.0
+
+
+class FabricTimeoutError(RuntimeError):
+    """A receive waited longer than the deadlock timeout."""
+
+
+class Fabric:
+    """Shared state connecting ``size`` simulated ranks.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks.
+    timeout:
+        Deadlock guard: any receive blocked longer than this raises
+        :class:`FabricTimeoutError` instead of hanging the test suite.
+    """
+
+    def __init__(self, size: int, timeout: float = DEFAULT_TIMEOUT) -> None:
+        if size < 1:
+            raise ValueError("fabric needs at least one rank")
+        self.size = size
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._condition = threading.Condition(self._lock)
+        self._mailboxes: dict[tuple[int, int, Hashable], deque] = defaultdict(deque)
+        self._barrier = threading.Barrier(size)
+        self._aborted = False
+
+    # ------------------------------------------------------------------
+    def put(self, src: int, dst: int, tag: Hashable, payload: Any) -> None:
+        """Deposit a message; wakes any blocked receivers."""
+        self._check_ranks(src, dst)
+        with self._condition:
+            self._mailboxes[(src, dst, tag)].append(payload)
+            self._condition.notify_all()
+
+    def get(self, src: int, dst: int, tag: Hashable) -> Any:
+        """Blocking receive of the oldest matching message."""
+        self._check_ranks(src, dst)
+        key = (src, dst, tag)
+        with self._condition:
+            while True:
+                if self._aborted:
+                    raise FabricTimeoutError("fabric aborted by another rank")
+                box = self._mailboxes.get(key)
+                if box:
+                    return box.popleft()
+                if not self._condition.wait(timeout=self.timeout):
+                    self._aborted = True
+                    self._condition.notify_all()
+                    raise FabricTimeoutError(
+                        f"recv(src={src}, dst={dst}, tag={tag}) timed out "
+                        f"after {self.timeout}s — likely deadlock"
+                    )
+
+    def abort(self) -> None:
+        """Unblock every waiting rank with an error (failure propagation)."""
+        with self._condition:
+            self._aborted = True
+            self._barrier.abort()
+            self._condition.notify_all()
+
+    def barrier(self) -> None:
+        """Global synchronisation across all ranks."""
+        self._barrier.wait(timeout=self.timeout)
+
+    # ------------------------------------------------------------------
+    def _check_ranks(self, src: int, dst: int) -> None:
+        if not (0 <= src < self.size and 0 <= dst < self.size):
+            raise ValueError(
+                f"rank out of range: src={src}, dst={dst}, size={self.size}"
+            )

@@ -1,0 +1,134 @@
+"""Per-rank communication and compute accounting.
+
+The theoretical analysis of Section 7 is phrased in the BSP model: the
+*communication volume* is the maximum number of words sent by any
+processor. These counters measure exactly that — every ``send`` of the
+simulated communicator records its payload size against the sending
+rank (optionally under a phase label), and local kernels record flops
+via :class:`~repro.util.counters.FlopCounter`. The benchmark figures
+are produced from these counters through the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.counters import FlopCounter
+
+__all__ = ["CommStats", "RunStats"]
+
+#: Word size used when converting bytes to "words" (fp32, as in the
+#: paper's experiments).
+WORD_BYTES = 4
+
+
+class CommStats:
+    """Counters for one rank.
+
+    Attributes
+    ----------
+    bytes_sent, messages_sent:
+        Cumulative traffic originated by this rank.
+    flops:
+        Local compute, via the embedded :class:`FlopCounter`.
+    by_phase:
+        ``phase -> bytes`` breakdown (e.g. "psi", "redistribute").
+    """
+
+    __slots__ = ("rank", "bytes_sent", "messages_sent", "flops", "by_phase",
+                 "_phase", "trace")
+
+    def __init__(self, rank: int, trace: bool = False) -> None:
+        self.rank = rank
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self.flops = FlopCounter()
+        self.by_phase: dict[str, int] = {}
+        self._phase = "default"
+        if trace:
+            from repro.runtime.trace import CommTrace
+
+            self.trace: "CommTrace | None" = CommTrace()
+        else:
+            self.trace = None
+
+    # ------------------------------------------------------------------
+    def set_phase(self, phase: str) -> None:
+        """Label subsequent traffic (e.g. per pipeline stage)."""
+        self._phase = phase
+
+    def record_send(self, nbytes: int) -> None:
+        """Charge one outgoing message of ``nbytes`` to this rank."""
+        self.bytes_sent += int(nbytes)
+        self.messages_sent += 1
+        self.by_phase[self._phase] = (
+            self.by_phase.get(self._phase, 0) + int(nbytes)
+        )
+        if self.trace is not None:
+            self.trace.record(self.messages_sent, self._phase, int(nbytes))
+
+    @property
+    def words_sent(self) -> int:
+        """Traffic in fp32 words — the unit of the Section-7 bounds."""
+        return self.bytes_sent // WORD_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CommStats(rank={self.rank}, msgs={self.messages_sent}, "
+            f"bytes={self.bytes_sent}, flops={self.flops.total})"
+        )
+
+
+@dataclass
+class RunStats:
+    """Aggregate over all ranks of one SPMD execution."""
+
+    per_rank: list[CommStats] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.per_rank)
+
+    @property
+    def max_bytes_sent(self) -> int:
+        """BSP communication volume in bytes (max over ranks)."""
+        return max((s.bytes_sent for s in self.per_rank), default=0)
+
+    @property
+    def max_words_sent(self) -> int:
+        """BSP communication volume in fp32 words (max over ranks)."""
+        return self.max_bytes_sent // WORD_BYTES
+
+    @property
+    def total_bytes_sent(self) -> int:
+        return sum(s.bytes_sent for s in self.per_rank)
+
+    @property
+    def max_messages_sent(self) -> int:
+        return max((s.messages_sent for s in self.per_rank), default=0)
+
+    @property
+    def max_flops(self) -> int:
+        """Critical-path compute (max flops over ranks)."""
+        return max((s.flops.total for s in self.per_rank), default=0)
+
+    def phase_bytes(self) -> dict[str, int]:
+        """Per-phase max-over-ranks byte counts."""
+        phases: dict[str, int] = {}
+        for stats in self.per_rank:
+            for phase, nbytes in stats.by_phase.items():
+                phases[phase] = max(phases.get(phase, 0), nbytes)
+        return phases
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict for CSV emission by the benchmark harness."""
+        return {
+            "ranks": self.size,
+            "max_bytes_sent": self.max_bytes_sent,
+            "max_words_sent": self.max_words_sent,
+            "total_bytes_sent": self.total_bytes_sent,
+            "max_messages_sent": self.max_messages_sent,
+            "max_flops": self.max_flops,
+        }

@@ -1,0 +1,65 @@
+"""Sparse tensor substrate.
+
+From-scratch COO and CSR sparse matrix formats backed by NumPy arrays,
+semiring algebra (Section 4.3 of the paper), segment reductions, and the
+compute kernels listed in Table 2 of the paper: SpMM, SDDMM, MM, SpMMM,
+MSpMM, plus the masked row softmax used by graph attention.
+
+Two execution backends are provided for the real-semiring SpMM:
+
+``"reference"``
+    Pure NumPy gather + ``reduceat`` implementation, used as the
+    correctness oracle and for non-real semirings.
+``"scipy"``
+    Delegates the inner product to ``scipy.sparse`` (which links against
+    optimised BLAS), mirroring how the paper's implementation delegates
+    to cuSPARSE/MKL.
+"""
+
+from repro.tensor.coo import COOMatrix
+from repro.tensor.csr import CSRMatrix
+from repro.tensor.semiring import (
+    AVERAGE,
+    REAL,
+    TROPICAL_MAX,
+    TROPICAL_MIN,
+    Semiring,
+)
+from repro.tensor.kernels import (
+    mm,
+    mspmm,
+    sddmm_add,
+    sddmm_cosine,
+    sddmm_dot,
+    spmm,
+    spmmm,
+)
+from repro.tensor.segment import (
+    segment_max,
+    segment_mean,
+    segment_min,
+    segment_softmax,
+    segment_sum,
+)
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "Semiring",
+    "REAL",
+    "TROPICAL_MIN",
+    "TROPICAL_MAX",
+    "AVERAGE",
+    "spmm",
+    "sddmm_dot",
+    "sddmm_add",
+    "sddmm_cosine",
+    "mm",
+    "spmmm",
+    "mspmm",
+    "segment_sum",
+    "segment_max",
+    "segment_min",
+    "segment_mean",
+    "segment_softmax",
+]

@@ -1,0 +1,304 @@
+"""Compressed sparse row (CSR) matrices.
+
+CSR is the compute format of the library: the adjacency matrix
+:math:`\\mathcal{A}` and every attention-score matrix
+:math:`\\Psi(\\mathcal{A}, H)` (which shares A's sparsity pattern) are
+stored in CSR. The format is three NumPy arrays — ``indptr``,
+``indices``, ``data`` — exactly as in scipy, but implemented from
+scratch so that semiring products and fused attention kernels can work
+directly on the raw arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """A sparse matrix in compressed sparse row format.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``n_rows + 1``; row ``i`` owns entries
+        ``indptr[i]:indptr[i+1]``.
+    indices:
+        Column index of each stored entry, row-major sorted.
+    data:
+        Value of each stored entry.
+    shape:
+        ``(n_rows, n_cols)``.
+    """
+
+    __slots__ = ("indptr", "indices", "data", "shape")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: tuple[int, int],
+    ) -> None:
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        data = np.asarray(data)
+        if indptr.ndim != 1 or indptr.shape[0] != shape[0] + 1:
+            raise ValueError("indptr must have length n_rows + 1")
+        if indptr[0] != 0 or indptr[-1] != indices.shape[0]:
+            raise ValueError("indptr endpoints inconsistent with indices")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if indices.shape != data.shape:
+            raise ValueError("indices and data must have the same length")
+        if indices.size and (indices.min() < 0 or indices.max() >= shape[1]):
+            raise ValueError("column index out of range")
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+        self.shape = (int(shape[0]), int(shape[1]))
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indices.shape[0])
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, dtype={self.dtype})"
+
+    def row_lengths(self) -> np.ndarray:
+        """Stored entries per row (the out-degree for adjacency input)."""
+        return np.diff(self.indptr)
+
+    def expand_rows(self) -> np.ndarray:
+        """Row index of every stored entry (COO row vector).
+
+        Vectorised: ``repeat(arange(n_rows), row_lengths)``. This is the
+        workhorse of every edge-wise (SDDMM-like) kernel.
+        """
+        return np.repeat(
+            np.arange(self.shape[0], dtype=np.int64), self.row_lengths()
+        )
+
+    # ------------------------------------------------------------------
+    # Same-pattern value algebra
+    # ------------------------------------------------------------------
+    def with_data(self, data: np.ndarray) -> "CSRMatrix":
+        """A new matrix sharing this pattern with different values.
+
+        Attention matrices :math:`\\Psi` always share the adjacency
+        pattern (Section 6.2: "the output almost always has the same
+        sparsity pattern as the adjacency matrix"), so this is the main
+        constructor on the attention path. ``indptr``/``indices`` are
+        shared, not copied.
+        """
+        data = np.asarray(data)
+        if data.shape != self.data.shape:
+            raise ValueError(
+                f"data length {data.shape} does not match pattern nnz "
+                f"{self.data.shape}"
+            )
+        return CSRMatrix(self.indptr, self.indices, data, self.shape)
+
+    def scale_rows(self, row_factors: np.ndarray) -> "CSRMatrix":
+        """Multiply each row by a scalar: ``diag(f) @ X`` (same pattern)."""
+        row_factors = np.asarray(row_factors)
+        if row_factors.shape != (self.shape[0],):
+            raise ValueError("row_factors must have length n_rows")
+        return self.with_data(self.data * row_factors[self.expand_rows()])
+
+    def scale_cols(self, col_factors: np.ndarray) -> "CSRMatrix":
+        """Multiply each column by a scalar: ``X @ diag(f)`` (same pattern)."""
+        col_factors = np.asarray(col_factors)
+        if col_factors.shape != (self.shape[1],):
+            raise ValueError("col_factors must have length n_cols")
+        return self.with_data(self.data * col_factors[self.indices])
+
+    def row_sum(self) -> np.ndarray:
+        """Per-row sum of stored values — ``sum(X) = X @ 1`` of Table 2."""
+        from repro.tensor.segment import segment_sum
+
+        return segment_sum(self.data, self.indptr)
+
+    def col_sum(self) -> np.ndarray:
+        """Per-column sum of stored values — ``sum^T(X) = 1^T X``."""
+        out = np.zeros(self.shape[1], dtype=self.data.dtype)
+        np.add.at(out, self.indices, self.data)
+        return out
+
+    # ------------------------------------------------------------------
+    # Structural transforms
+    # ------------------------------------------------------------------
+    def transpose(self) -> "CSRMatrix":
+        """Return the transpose as a new CSR matrix (O(nnz) counting sort)."""
+        n_rows, n_cols = self.shape
+        indptr_t = np.zeros(n_cols + 1, dtype=np.int64)
+        np.add.at(indptr_t, self.indices + 1, 1)
+        np.cumsum(indptr_t, out=indptr_t)
+        perm = self.transpose_permutation()
+        indices_t = self.expand_rows()[perm]
+        data_t = self.data[perm]
+        return CSRMatrix(indptr_t, indices_t, data_t, (n_cols, n_rows))
+
+    def transpose_permutation(self) -> np.ndarray:
+        """Permutation ``p`` such that entry ``i`` of ``X^T`` (row-major
+        order of the transpose) is entry ``p[i]`` of ``X``.
+
+        Backward passes repeatedly need values of :math:`\\Psi^T`; with
+        this permutation they are a single fancy-index away instead of a
+        full re-transposition.
+        """
+        key = self.indices * np.int64(self.shape[0]) + self.expand_rows()
+        return np.argsort(key, kind="stable")
+
+    def extract_block(
+        self, r0: int, r1: int, c0: int, c1: int
+    ) -> "CSRMatrix":
+        """Extract the dense-index block ``[r0:r1, c0:c1]`` as CSR.
+
+        Used by the 2D partitioner: each rank of the ``Px × Py`` grid
+        stores one such block of :math:`\\mathcal{A}` (Section 6.3).
+        """
+        if not (0 <= r0 <= r1 <= self.shape[0]):
+            raise ValueError("row range out of bounds")
+        if not (0 <= c0 <= c1 <= self.shape[1]):
+            raise ValueError("column range out of bounds")
+        from repro.tensor.segment import segment_sum
+
+        start, stop = self.indptr[r0], self.indptr[r1]
+        cols = self.indices[start:stop]
+        mask = (cols >= c0) & (cols < c1)
+        # Per-row counts of surviving entries, via segment sums of the mask.
+        seg = self.indptr[r0 : r1 + 1] - start
+        counts = segment_sum(mask.astype(np.int64), seg)
+        local_indptr = np.zeros(r1 - r0 + 1, dtype=np.int64)
+        local_indptr[1:] = np.cumsum(counts)
+        return CSRMatrix(
+            local_indptr,
+            cols[mask] - c0,
+            self.data[start:stop][mask],
+            (r1 - r0, c1 - c0),
+        )
+
+    def extract_submatrix(self, vertices: np.ndarray) -> "CSRMatrix":
+        """Induced square submatrix on a sorted vertex subset.
+
+        Rows and columns are restricted to ``vertices`` (strictly
+        increasing global ids) and relabelled to ``[0, len(vertices))``.
+        Used by the mini-batch baseline to build sampled training
+        blocks.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size and np.any(np.diff(vertices) <= 0):
+            raise ValueError("vertices must be strictly increasing")
+        nv = vertices.shape[0]
+        # Gather the selected rows' entries.
+        starts = self.indptr[vertices]
+        stops = self.indptr[vertices + 1] if nv else starts
+        lengths = stops - starts
+        gather = (
+            np.concatenate([np.arange(s, t) for s, t in zip(starts, stops)])
+            if nv and lengths.sum()
+            else np.empty(0, dtype=np.int64)
+        )
+        cols = self.indices[gather]
+        data = self.data[gather]
+        row_of_entry = np.repeat(np.arange(nv, dtype=np.int64), lengths)
+        # Keep entries whose column is in the subset; remap both axes.
+        pos = np.searchsorted(vertices, cols)
+        pos_clipped = np.minimum(pos, max(nv - 1, 0))
+        keep = nv > 0 and vertices[pos_clipped] == cols
+        keep = np.asarray(keep, dtype=bool) & (pos < nv)
+        new_rows = row_of_entry[keep]
+        new_cols = pos_clipped[keep]
+        indptr = np.zeros(nv + 1, dtype=np.int64)
+        np.add.at(indptr, new_rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CSRMatrix(indptr, new_cols, data[keep], (nv, nv))
+
+    # ------------------------------------------------------------------
+    # Elementwise combination (general pattern)
+    # ------------------------------------------------------------------
+    def add(self, other: "CSRMatrix") -> "CSRMatrix":
+        """Entry-wise sum with another CSR matrix (patterns may differ)."""
+        if self.shape != other.shape:
+            raise ValueError("shape mismatch in CSR add")
+        from repro.tensor.coo import COOMatrix
+
+        rows = np.concatenate([self.expand_rows(), other.expand_rows()])
+        cols = np.concatenate([self.indices, other.indices])
+        data = np.concatenate(
+            [self.data, other.data.astype(self.data.dtype, copy=False)]
+        )
+        return COOMatrix(rows, cols, data, shape=self.shape).to_csr()
+
+    def hadamard_same_pattern(self, other: "CSRMatrix") -> "CSRMatrix":
+        """Entry-wise product assuming identical patterns (checked cheaply)."""
+        if self.shape != other.shape or self.nnz != other.nnz:
+            raise ValueError("pattern mismatch in hadamard_same_pattern")
+        return self.with_data(self.data * other.data)
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def to_coo(self) -> "COOMatrix":
+        from repro.tensor.coo import COOMatrix
+
+        out = COOMatrix(
+            self.expand_rows(),
+            self.indices.copy(),
+            self.data.copy(),
+            shape=self.shape,
+            dedup=False,
+        )
+        out._canonical = True
+        return out
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as dense. Reference/testing use only."""
+        out = np.zeros(self.shape, dtype=self.dtype)
+        out[self.expand_rows(), self.indices] = self.data
+        return out
+
+    def to_scipy(self):
+        """View as ``scipy.sparse.csr_matrix`` (shares buffers)."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (self.data, self.indices, self.indptr), shape=self.shape
+        )
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSRMatrix":
+        """Build from any scipy sparse matrix."""
+        mat = mat.tocsr()
+        mat.sort_indices()
+        return cls(
+            mat.indptr.astype(np.int64),
+            mat.indices.astype(np.int64),
+            mat.data,
+            mat.shape,
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        from repro.tensor.coo import COOMatrix
+
+        return COOMatrix.from_dense(dense).to_csr()
+
+    def astype(self, dtype) -> "CSRMatrix":
+        """Pattern-sharing cast of the values."""
+        return self.with_data(self.data.astype(dtype))
+
+    def copy(self) -> "CSRMatrix":
+        return CSRMatrix(
+            self.indptr.copy(), self.indices.copy(), self.data.copy(), self.shape
+        )

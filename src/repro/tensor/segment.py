@@ -1,0 +1,116 @@
+"""Segment reductions over CSR row boundaries.
+
+All per-neighbourhood operations of the paper — row summation
+(``sum(X) = X 1`` from Table 2), the graph softmax of Section 4.2, and
+min/max/average aggregations — reduce, on a CSR layout, to *segment
+reductions*: a reduction of ``values[indptr[i]:indptr[i+1]]`` per row
+``i``. NumPy's ``ufunc.reduceat`` implements this in C, with one quirk:
+an empty segment does not produce the identity element but copies the
+next value. Every helper here repairs empty segments explicitly, so
+isolated vertices are handled correctly throughout the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "segment_sum",
+    "segment_max",
+    "segment_min",
+    "segment_mean",
+    "segment_softmax",
+    "expand_segments",
+]
+
+
+def _reduceat(ufunc: np.ufunc, values: np.ndarray, indptr: np.ndarray,
+              identity: float) -> np.ndarray:
+    """Apply ``ufunc.reduceat`` per segment, repairing empty segments.
+
+    ``values`` may be 1-D (per-edge scalars) or 2-D (per-edge feature
+    rows); reduction is along axis 0 within each segment.
+    """
+    n_seg = indptr.shape[0] - 1
+    if n_seg == 0:
+        shape = (0,) if values.ndim == 1 else (0, values.shape[1])
+        return np.empty(shape, dtype=values.dtype)
+    lengths = np.diff(indptr)
+    shape = (n_seg,) if values.ndim == 1 else (n_seg, values.shape[1])
+    if values.shape[0] == 0:
+        return np.full(shape, identity, dtype=values.dtype)
+    # Reduce over non-empty segments only: their starts are strictly
+    # increasing and < len(values), and consecutive non-empty starts
+    # span exactly the elements of the earlier segment (empty segments
+    # contribute none). This sidesteps both reduceat quirks at once —
+    # repeated indices and out-of-range trailing starts.
+    nonempty = lengths > 0
+    out = np.full(shape, identity, dtype=values.dtype)
+    if np.any(nonempty):
+        out[nonempty] = ufunc.reduceat(values, indptr[:-1][nonempty], axis=0)
+    return out
+
+
+def segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-segment sum; empty segments yield 0."""
+    return _reduceat(np.add, np.asarray(values), np.asarray(indptr), 0)
+
+
+def segment_max(values: np.ndarray, indptr: np.ndarray,
+                identity: float = -np.inf) -> np.ndarray:
+    """Per-segment maximum; empty segments yield ``identity``."""
+    return _reduceat(np.maximum, np.asarray(values), np.asarray(indptr), identity)
+
+
+def segment_min(values: np.ndarray, indptr: np.ndarray,
+                identity: float = np.inf) -> np.ndarray:
+    """Per-segment minimum; empty segments yield ``identity``."""
+    return _reduceat(np.minimum, np.asarray(values), np.asarray(indptr), identity)
+
+
+def segment_mean(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-segment arithmetic mean; empty segments yield 0."""
+    values = np.asarray(values)
+    indptr = np.asarray(indptr)
+    total = segment_sum(values, indptr)
+    lengths = np.diff(indptr).astype(values.dtype)
+    safe = np.maximum(lengths, 1)
+    if values.ndim == 2:
+        safe = safe[:, None]
+    return total / safe
+
+
+def expand_segments(per_segment: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Replicate one value per segment back to per-entry length.
+
+    This is the replication step ``rep_n(x) = x 1^T`` of Table 2,
+    restricted to the sparsity pattern — the virtual n×n replication is
+    never materialised (Section 6.1), only its sampled entries.
+    """
+    lengths = np.diff(indptr)
+    return np.repeat(per_segment, lengths, axis=0)
+
+
+def segment_softmax(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Numerically-stable softmax within each segment.
+
+    Implements the global graph-softmax formulation of Section 4.2,
+
+    .. math:: \\mathrm{sm}(\\mathcal{X}) = \\exp(\\mathcal{X}) \\oslash
+              \\mathrm{rs}_n(\\exp(\\mathcal{X}))
+
+    on the stored entries only: ``exp`` per edge, row sums via
+    multiplication by a column of ones (step 2), replication (step 3)
+    and element-wise division (step 4). A per-segment max-shift is
+    applied first for stability, which leaves the softmax unchanged.
+    """
+    values = np.asarray(values)
+    indptr = np.asarray(indptr)
+    if values.shape[0] == 0:
+        return values.copy()
+    shift = segment_max(values, indptr, identity=0.0)
+    exp = np.exp(values - expand_segments(shift, indptr))
+    denom = segment_sum(exp, indptr)
+    # Rows with no entries never index into denom; guard regardless.
+    denom = np.where(denom == 0, 1, denom)
+    return exp / expand_segments(denom, indptr)

@@ -1,0 +1,24 @@
+"""Full-batch training stack: losses, optimisers, trainer, metrics.
+
+The paper evaluates *full-batch* training (a forward pass followed by a
+backward pass over the whole graph, per iteration); this package
+provides the loss bootstraps of Eq. (4), classic first-order optimisers
+applying the Step-6 update rule, and a trainer driving the loop.
+"""
+
+from repro.training.loss import MSELoss, SoftmaxCrossEntropyLoss
+from repro.training.metrics import accuracy, f1_macro
+from repro.training.optim import SGD, Adam, Optimizer
+from repro.training.trainer import TrainResult, Trainer
+
+__all__ = [
+    "SoftmaxCrossEntropyLoss",
+    "MSELoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Trainer",
+    "TrainResult",
+    "accuracy",
+    "f1_macro",
+]

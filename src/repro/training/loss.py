@@ -1,0 +1,87 @@
+"""Training objectives and their gradients.
+
+Each loss implements the :class:`~repro.models.base.Loss` interface:
+``value`` returns the scalar objective and ``gradient`` returns
+:math:`\\nabla_{H^L}\\mathcal{L}` — the bootstrap of the generic
+backward formulation (Eq. 4). Both support an optional boolean
+``mask`` restricting the objective to labelled vertices, the standard
+semi-supervised node-classification setting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import Loss
+
+__all__ = ["SoftmaxCrossEntropyLoss", "MSELoss"]
+
+
+def _masked(
+    h: np.ndarray, target: np.ndarray, mask: np.ndarray | None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    if mask is None:
+        return h, target, None
+    mask = np.asarray(mask, dtype=bool)
+    return h[mask], target[mask], mask
+
+
+def log_softmax(z: np.ndarray) -> np.ndarray:
+    """Row-wise numerically-stable log-softmax."""
+    shifted = z - z.max(axis=1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+
+
+class SoftmaxCrossEntropyLoss(Loss):
+    """Mean softmax cross-entropy over (masked) vertices.
+
+    ``target`` holds integer class labels of shape ``(n,)``. The
+    gradient is the classic ``softmax(z) - onehot(y)`` scaled by
+    ``1 / n_labelled``, scattered back to full shape when masked.
+    """
+
+    def __init__(self, mask: np.ndarray | None = None) -> None:
+        self.mask = None if mask is None else np.asarray(mask, dtype=bool)
+
+    def value(self, h_out: np.ndarray, target: np.ndarray) -> float:
+        h, y, _ = _masked(h_out, np.asarray(target), self.mask)
+        if h.shape[0] == 0:
+            return 0.0
+        logp = log_softmax(h.astype(np.float64))
+        return float(-logp[np.arange(h.shape[0]), y].mean())
+
+    def gradient(self, h_out: np.ndarray, target: np.ndarray) -> np.ndarray:
+        y_full = np.asarray(target)
+        h, y, mask = _masked(h_out, y_full, self.mask)
+        grad_local = np.exp(log_softmax(h.astype(np.float64)))
+        grad_local[np.arange(h.shape[0]), y] -= 1.0
+        grad_local /= max(h.shape[0], 1)
+        if mask is None:
+            return grad_local.astype(h_out.dtype)
+        grad = np.zeros_like(h_out, dtype=np.float64)
+        grad[mask] = grad_local
+        return grad.astype(h_out.dtype)
+
+
+class MSELoss(Loss):
+    """Mean squared error over (masked) vertices against dense targets."""
+
+    def __init__(self, mask: np.ndarray | None = None) -> None:
+        self.mask = None if mask is None else np.asarray(mask, dtype=bool)
+
+    def value(self, h_out: np.ndarray, target: np.ndarray) -> float:
+        h, t, _ = _masked(h_out, np.asarray(target), self.mask)
+        if h.size == 0:
+            return 0.0
+        diff = h.astype(np.float64) - t
+        return float((diff * diff).mean())
+
+    def gradient(self, h_out: np.ndarray, target: np.ndarray) -> np.ndarray:
+        t_full = np.asarray(target)
+        h, t, mask = _masked(h_out, t_full, self.mask)
+        grad_local = 2.0 * (h.astype(np.float64) - t) / max(h.size, 1)
+        if mask is None:
+            return grad_local.astype(h_out.dtype)
+        grad = np.zeros_like(h_out, dtype=np.float64)
+        grad[mask] = grad_local
+        return grad.astype(h_out.dtype)

@@ -1,0 +1,150 @@
+"""First-order optimisers applying the Step-6 weight update.
+
+Optimisers operate on the nested per-layer gradient structure returned
+by :meth:`repro.models.base.GnnModel.backward` and update parameters in
+place. State (momentum / Adam moments) is keyed by ``(layer, name)``,
+so the same optimiser instance can drive any model.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.models.base import GnnModel
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer(ABC):
+    """Base class: subclasses implement the per-parameter update rule.
+
+    Parameters
+    ----------
+    lr:
+        Learning rate.
+    weight_decay:
+        L2 regularisation coefficient; adds ``weight_decay * param`` to
+        every gradient before the update (decoupled-style decay is not
+        needed for the reproduction's experiments).
+    clip_norm:
+        If set, rescales the *global* gradient (concatenated over all
+        parameters) to at most this L2 norm before updating — the
+        standard stabiliser for the exploding VA scores.
+    """
+
+    def __init__(self, lr: float, weight_decay: float = 0.0,
+                 clip_norm: float | None = None) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if weight_decay < 0:
+            raise ValueError("weight decay must be non-negative")
+        if clip_norm is not None and clip_norm <= 0:
+            raise ValueError("clip_norm must be positive")
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.clip_norm = clip_norm
+
+    def _global_scale(self, grads: list[dict[str, np.ndarray]]) -> float:
+        if self.clip_norm is None:
+            return 1.0
+        total = 0.0
+        for layer_grads in grads:
+            for grad in layer_grads.values():
+                grad = np.asarray(grad, dtype=np.float64)
+                total += float(np.sum(grad * grad))
+        norm = np.sqrt(total)
+        if not np.isfinite(norm):
+            # An overflowed gradient cannot be rescaled meaningfully;
+            # skip the step entirely (scale 0) rather than poison params.
+            return 0.0
+        return min(1.0, self.clip_norm / max(norm, 1e-12))
+
+    def step(
+        self, model: GnnModel, grads: list[dict[str, np.ndarray]]
+    ) -> None:
+        """Apply one update across every layer's parameters."""
+        scale = self._global_scale(grads)
+        if scale == 0.0:
+            # Non-finite global norm: 0 * inf would poison parameters
+            # with NaNs, so the step is skipped outright.
+            return
+        for layer_index, (params, layer_grads) in enumerate(
+            zip(model.parameters(), grads)
+        ):
+            for name, grad in layer_grads.items():
+                param = params[name]
+                effective = scale * np.asarray(grad)
+                if self.weight_decay:
+                    effective = effective + self.weight_decay * param
+                self._update((layer_index, name), param, effective)
+
+    @abstractmethod
+    def _update(
+        self, key: tuple[int, str], param: np.ndarray, grad: np.ndarray
+    ) -> None:
+        """Update ``param`` in place given its gradient."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent, optionally with classical momentum."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0,
+                 clip_norm: float | None = None) -> None:
+        super().__init__(lr, weight_decay=weight_decay, clip_norm=clip_norm)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: dict[tuple[int, str], np.ndarray] = {}
+
+    def _update(self, key, param, grad) -> None:
+        grad = grad.astype(param.dtype, copy=False)
+        if self.momentum == 0.0:
+            param -= self.lr * grad
+            return
+        vel = self._velocity.get(key)
+        if vel is None:
+            vel = np.zeros_like(param)
+            self._velocity[key] = vel
+        vel *= self.momentum
+        vel += grad
+        param -= self.lr * vel
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias-corrected moment estimates."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        clip_norm: float | None = None,
+    ) -> None:
+        super().__init__(lr, weight_decay=weight_decay, clip_norm=clip_norm)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[tuple[int, str], np.ndarray] = {}
+        self._v: dict[tuple[int, str], np.ndarray] = {}
+        self._t: dict[tuple[int, str], int] = {}
+
+    def _update(self, key, param, grad) -> None:
+        grad64 = grad.astype(np.float64, copy=False)
+        m = self._m.setdefault(key, np.zeros(param.shape))
+        v = self._v.setdefault(key, np.zeros(param.shape))
+        t = self._t.get(key, 0) + 1
+        self._t[key] = t
+        m *= self.beta1
+        m += (1 - self.beta1) * grad64
+        v *= self.beta2
+        v += (1 - self.beta2) * grad64 * grad64
+        m_hat = m / (1 - self.beta1**t)
+        v_hat = v / (1 - self.beta2**t)
+        param -= (self.lr * m_hat / (np.sqrt(v_hat) + self.eps)).astype(
+            param.dtype
+        )

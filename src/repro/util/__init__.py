@@ -1,0 +1,6 @@
+"""Shared utilities: flop accounting, RNG handling, validation helpers."""
+
+from repro.util.counters import FlopCounter, null_counter
+from repro.util.rng import make_rng
+
+__all__ = ["FlopCounter", "null_counter", "make_rng"]

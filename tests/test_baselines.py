@@ -1,0 +1,204 @@
+"""Tests for the local-formulation baselines (DGL/DistDGL stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dist_local import (
+    build_partition,
+    dist_local_inference,
+    dist_local_train,
+)
+from repro.baselines.message_passing import (
+    LocalGraph,
+    local_agnn_layer,
+    local_gat_layer,
+    local_va_layer,
+)
+from repro.baselines.minibatch import (
+    MiniBatchConfig,
+    minibatch_train,
+    sample_block,
+)
+from repro.core.psi import psi_agnn, psi_gat, psi_va
+from repro.graphs import synthetic_classification
+from repro.models import build_model, normalize_adjacency
+from repro.runtime import run_spmd
+from repro.tensor.kernels import spmm
+from repro.training import SGD, SoftmaxCrossEntropyLoss, Trainer
+from repro.util.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return synthetic_classification(n=123, feature_dim=7, seed=2)
+
+
+class TestLocalVsGlobalFormulation:
+    """Section 2.2 vs Section 4: the two views must agree numerically."""
+
+    def test_va(self, rng, small_adjacency):
+        h = rng.normal(size=(60, 5))
+        w = rng.normal(size=(5, 4))
+        graph = LocalGraph.single_node(small_adjacency, h)
+        local = local_va_layer(graph, w)
+        s, _ = psi_va(small_adjacency, h)
+        global_out = spmm(s, h @ w)
+        assert np.allclose(local, global_out, atol=1e-9)
+
+    def test_agnn(self, rng, small_adjacency):
+        h = rng.normal(size=(60, 5))
+        w = rng.normal(size=(5, 4))
+        graph = LocalGraph.single_node(small_adjacency, h)
+        local = local_agnn_layer(graph, w, beta=1.7)
+        s, _ = psi_agnn(small_adjacency, h, beta=1.7)
+        assert np.allclose(local, spmm(s, h @ w), atol=1e-9)
+
+    def test_gat(self, rng, small_adjacency):
+        h = rng.normal(size=(60, 5))
+        w = rng.normal(size=(5, 4))
+        a_src = rng.normal(size=4)
+        a_dst = rng.normal(size=4)
+        graph = LocalGraph.single_node(small_adjacency, h)
+        local = local_gat_layer(graph, w, a_src, a_dst)
+        s, _ = psi_gat(small_adjacency, h @ w, a_src, a_dst)
+        assert np.allclose(local, spmm(s, h @ w), atol=1e-9)
+
+    def test_update_all_rejects_unknown_reducer(self, rng, small_adjacency):
+        graph = LocalGraph.single_node(small_adjacency,
+                                       rng.normal(size=(60, 2)))
+        with pytest.raises(NotImplementedError):
+            graph.update_all(np.zeros((small_adjacency.nnz, 2)),
+                             reducer="max")
+
+
+class TestDistLocalEngine:
+    @pytest.mark.parametrize("p", [1, 3, 4])
+    @pytest.mark.parametrize("name", ["VA", "AGNN", "GAT", "GCN"])
+    def test_inference_matches_single_node(self, problem, name, p):
+        a = (
+            normalize_adjacency(problem.adjacency)
+            if name == "GCN"
+            else problem.adjacency
+        )
+        h = problem.features.astype(np.float64)
+        reference = build_model(
+            name, 7, 8, 4, num_layers=3, seed=5, dtype=np.float64
+        ).forward(a, h, training=False)
+        out, stats = dist_local_inference(
+            name, a, h, 8, 4, num_layers=3, p=p, seed=5, dtype=np.float64
+        )
+        scale = max(1.0, np.abs(reference).max())
+        assert np.abs(out - reference).max() / scale < 1e-10
+        if p > 1:
+            assert stats.phase_bytes().get("halo", 0) > 0
+
+    @pytest.mark.parametrize("name", ["VA", "AGNN", "GAT", "GCN"])
+    def test_training_matches_single_node(self, problem, name):
+        np.seterr(over="ignore", invalid="ignore")
+        a = (
+            normalize_adjacency(problem.adjacency)
+            if name == "GCN"
+            else problem.adjacency
+        )
+        h = problem.features.astype(np.float64)
+        model = build_model(name, 7, 8, 4, num_layers=2, seed=5,
+                            dtype=np.float64)
+        trainer = Trainer(
+            model, SoftmaxCrossEntropyLoss(problem.train_mask), SGD(0.005)
+        )
+        reference = trainer.fit(a, h, problem.labels, epochs=3)
+        losses, _ = dist_local_train(
+            name, a, h, problem.labels, 8, 4, num_layers=2, p=4, epochs=3,
+            lr=0.005, mask=problem.train_mask, seed=5, dtype=np.float64,
+        )
+        for ref, got in zip(reference.losses, losses):
+            assert abs(ref - got) / max(1.0, abs(ref)) < 1e-8
+
+    def test_halo_plan_counts(self, problem):
+        """The halo plan must request exactly the distinct remote
+        neighbours of the owned rows."""
+        a = problem.adjacency
+        n = a.shape[0]
+
+        def program(comm):
+            part = build_partition(comm, a, n)
+            dense = a.to_dense()
+            remote = set()
+            for i in range(part.r0, part.r1):
+                for j in np.nonzero(dense[i])[0]:
+                    if not part.r0 <= j < part.r1:
+                        remote.add(int(j))
+            assert set(part.halo_ids.tolist()) == remote
+            assert int(part.recv_counts.sum()) == len(remote)
+            return True
+
+        assert all(run_spmd(3, program, timeout=20).values)
+
+    def test_halo_volume_grows_with_density(self):
+        """Denser graphs → bigger halos: the Omega(nkd/p) behaviour."""
+        from repro.graphs import erdos_renyi
+        from repro.graphs.prep import prepare_adjacency
+
+        h = np.zeros((128, 8), dtype=np.float32)
+        sparse_a = prepare_adjacency(erdos_renyi(128, 300, seed=0))
+        dense_a = prepare_adjacency(erdos_renyi(128, 3000, seed=0))
+        _, sparse_stats = dist_local_inference(
+            "GCN", normalize_adjacency(sparse_a), h, 8, 4, p=4, seed=0
+        )
+        _, dense_stats = dist_local_inference(
+            "GCN", normalize_adjacency(dense_a), h, 8, 4, p=4, seed=0
+        )
+        assert (
+            dense_stats.phase_bytes()["halo"]
+            > sparse_stats.phase_bytes()["halo"]
+        )
+
+
+class TestMiniBatch:
+    def test_sample_block_contains_targets(self, problem):
+        rng = make_rng(0)
+        targets = np.array([3, 10, 50])
+        vertices, block, edges = sample_block(
+            problem.adjacency, targets, (5, 5), rng
+        )
+        assert set(targets.tolist()) <= set(vertices.tolist())
+        assert edges > 0
+        assert block.shape == (len(vertices), len(vertices))
+        # Block edges are the sampled ones plus self loops only.
+        assert block.nnz <= edges + len(vertices)
+
+    def test_sample_block_respects_fanout(self, problem):
+        rng = make_rng(0)
+        small, _block, edges_small = sample_block(
+            problem.adjacency, np.array([0]), (2,), rng
+        )
+        assert edges_small <= 2
+        assert len(small) <= 3
+
+    def test_training_reduces_loss(self, problem):
+        losses, stats = minibatch_train(
+            "GCN", normalize_adjacency(problem.adjacency), problem.features,
+            problem.labels, 16, 4, num_layers=2, p=4, iterations=8, lr=0.05,
+            config=MiniBatchConfig(batch_size=64, fanouts=(5, 5)),
+        )
+        assert losses[-1] < losses[0]
+
+    def test_sampling_flops_charged(self, problem):
+        _, stats = minibatch_train(
+            "GAT", problem.adjacency, problem.features, problem.labels,
+            8, 4, num_layers=2, p=4, iterations=1,
+            config=MiniBatchConfig(batch_size=32, fanouts=(4, 4)),
+        )
+        labels = set()
+        for rank_stats in stats.per_rank:
+            labels |= set(rank_stats.flops.by_label)
+        assert "sampling" in labels
+        phases = stats.phase_bytes()
+        assert phases.get("fetch", 0) > 0
+        assert phases.get("gradsync", 0) > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MiniBatchConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            MiniBatchConfig(fanouts=())

@@ -1,0 +1,132 @@
+"""Tests for the programmable generic layer (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.formulation import AttentionSpec, GenericLayer
+from repro.core.psi import psi_va, psi_va_vjp
+from repro.models.va import VALayer
+from repro.tensor.semiring import REAL, TROPICAL_MAX, adjacency_values
+
+
+@pytest.fixture
+def va_spec():
+    return AttentionSpec(
+        psi=lambda a, h: psi_va(a, h),
+        psi_vjp=lambda ds, cache: psi_va_vjp(ds, cache),
+        name="va",
+    )
+
+
+class TestForward:
+    def test_matches_hand_written_va_layer(self, rng, small_adjacency,
+                                           va_spec):
+        h = rng.normal(size=(60, 5))
+        layer = GenericLayer(5, 4, va_spec, activation="relu", seed=3,
+                             dtype=np.float64)
+        reference = VALayer(5, 4, activation="relu", seed=3, dtype=np.float64)
+        reference.weight = layer.weight.copy()
+        out, _ = layer.forward(small_adjacency, h)
+        ref, _ = reference.forward(small_adjacency, h)
+        assert np.allclose(out, ref)
+
+    def test_composition_orders_agree_for_real_semiring(
+        self, rng, small_adjacency, va_spec
+    ):
+        """Phi and ⊕ commute mathematically for linear Phi (Section 4.4)."""
+        h = rng.normal(size=(60, 5))
+        proj = GenericLayer(5, 4, va_spec, seed=1, dtype=np.float64)
+        agg_spec = AttentionSpec(psi=va_spec.psi, psi_vjp=va_spec.psi_vjp,
+                                 order="aggregate_first")
+        agg = GenericLayer(5, 4, agg_spec, seed=1, dtype=np.float64)
+        agg.weight = proj.weight.copy()
+        out_p, _ = proj.forward(small_adjacency, h)
+        out_a, _ = agg.forward(small_adjacency, h)
+        assert np.allclose(out_p, out_a, atol=1e-10)
+
+    def test_max_semiring_aggregation(self, rng, small_adjacency):
+        """A custom A-GNN: max-aggregation over attention scores."""
+        def psi(a, h):
+            s, cache = psi_va(a, h)
+            return s.with_data(adjacency_values(TROPICAL_MAX, s.data)), cache
+
+        spec = AttentionSpec(psi=psi, aggregate=TROPICAL_MAX,
+                             order="aggregate_first", name="max-va")
+        layer = GenericLayer(5, 4, spec, activation="identity", seed=0,
+                             dtype=np.float64)
+        h = rng.normal(size=(60, 5))
+        out, _ = layer.forward(small_adjacency, h)
+        # Aggregated features are neighbourhood maxima of h.
+        dense = small_adjacency.to_dense()
+        expected = np.full((60, 5), -np.inf)
+        for i in range(60):
+            nz = np.nonzero(dense[i])[0]
+            if nz.size:
+                expected[i] = h[nz].max(axis=0)
+        assert np.allclose(out, expected @ layer.weight)
+
+    def test_inference_mode_skips_cache(self, rng, small_adjacency, va_spec):
+        layer = GenericLayer(5, 4, va_spec)
+        h = rng.normal(size=(60, 5)).astype(np.float32)
+        _, cache = layer.forward(small_adjacency, h, training=False)
+        assert cache is None
+
+
+class TestBackward:
+    def test_gradcheck_with_psi_vjp(self, rng, small_adjacency, va_spec):
+        h = rng.normal(size=(60, 4))
+        layer = GenericLayer(4, 3, va_spec, activation="tanh", seed=2,
+                             dtype=np.float64)
+        target = rng.normal(size=(60, 3))
+
+        def loss_value():
+            out, _ = layer.forward(small_adjacency, h, training=False)
+            return float(((out - target) ** 2).sum())
+
+        out, cache = layer.forward(small_adjacency, h)
+        g = 2 * (out - target) * layer.activation.grad(cache.z)
+        _, grads = layer.backward(cache, g)
+        eps = 1e-6
+        flat = layer.weight.reshape(-1)
+        for i in rng.choice(flat.size, size=6, replace=False):
+            orig = flat[i]
+            flat[i] = orig + eps
+            up = loss_value()
+            flat[i] = orig - eps
+            down = loss_value()
+            flat[i] = orig
+            num = (up - down) / (2 * eps)
+            assert np.isclose(grads["weight"].reshape(-1)[i], num, atol=1e-4)
+
+    def test_backward_without_vjp_detaches_attention(
+        self, rng, small_adjacency
+    ):
+        spec = AttentionSpec(psi=lambda a, h: psi_va(a, h))  # no vjp
+        layer = GenericLayer(4, 3, spec, seed=2, dtype=np.float64)
+        h = rng.normal(size=(60, 4))
+        out, cache = layer.forward(small_adjacency, h)
+        dh, grads = layer.backward(cache, np.ones_like(out))
+        assert dh.shape == h.shape
+        assert grads["weight"].shape == (4, 3)
+
+    def test_exotic_semiring_training_rejected(self, rng, small_adjacency):
+        spec = AttentionSpec(psi=lambda a, h: psi_va(a, h),
+                             aggregate=TROPICAL_MAX)
+        layer = GenericLayer(4, 3, spec, dtype=np.float64)
+        h = rng.normal(size=(60, 4))
+        # Forward with raw scores is fine; backward must refuse.
+        s_out, cache = layer.forward(small_adjacency, h)
+        with pytest.raises(NotImplementedError):
+            layer.backward(cache, np.ones_like(s_out))
+
+    def test_apply_gradients_sgd(self, rng, small_adjacency, va_spec):
+        layer = GenericLayer(4, 3, va_spec, dtype=np.float64)
+        before = layer.weight.copy()
+        layer.apply_gradients({"weight": np.ones_like(layer.weight)}, lr=0.1)
+        assert np.allclose(layer.weight, before - 0.1)
+
+
+class TestSpecValidation:
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            AttentionSpec(psi=lambda a, h: None, order="sideways")

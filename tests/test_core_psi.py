@@ -1,0 +1,136 @@
+"""Tests for the Psi operators and their VJPs (Sections 4.1 / 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.psi import (
+    psi_agnn,
+    psi_agnn_vjp,
+    psi_gat,
+    psi_gat_vjp,
+    psi_va,
+    psi_va_vjp,
+)
+
+
+@pytest.fixture
+def setup(rng, small_adjacency):
+    h = rng.normal(size=(small_adjacency.shape[0], 6))
+    return small_adjacency, h
+
+
+class TestPsiForward:
+    def test_va_matches_masked_gram(self, setup):
+        a, h = setup
+        s, _ = psi_va(a, h)
+        full = h @ h.T
+        expected = a.to_dense() * full
+        assert np.allclose(s.to_dense(), expected)
+
+    def test_agnn_is_softmaxed_cosine(self, setup):
+        a, h = setup
+        s, cache = psi_agnn(a, h)
+        # Rows are probability distributions over neighbourhoods.
+        assert np.allclose(s.row_sum(), 1.0)
+        # Cached cosine values live in [-1, 1].
+        assert np.all(np.abs(cache.cos_values) <= 1 + 1e-9)
+
+    def test_agnn_beta_sharpness(self, setup):
+        """Larger beta concentrates attention (higher max prob per row)."""
+        a, h = setup
+        s1, _ = psi_agnn(a, h, beta=1.0)
+        s5, _ = psi_agnn(a, h, beta=5.0)
+        from repro.tensor.segment import segment_max
+
+        m1 = segment_max(s1.data, a.indptr, identity=0)
+        m5 = segment_max(s5.data, a.indptr, identity=0)
+        assert m5.mean() > m1.mean()
+
+    def test_gat_rows_normalised(self, setup, rng):
+        a, h = setup
+        w = rng.normal(size=(6, 4))
+        a_src = rng.normal(size=4)
+        a_dst = rng.normal(size=4)
+        s, cache = psi_gat(a, h @ w, a_src, a_dst)
+        assert np.allclose(s.row_sum(), 1.0)
+        assert cache.raw_values.shape == (a.nnz,)
+
+    def test_gat_matches_manual_construction(self, setup, rng):
+        a, h = setup
+        w = rng.normal(size=(6, 4))
+        a_src = rng.normal(size=4)
+        a_dst = rng.normal(size=4)
+        hp = h @ w
+        s, _ = psi_gat(a, hp, a_src, a_dst, slope=0.2)
+        u = hp @ a_src
+        v = hp @ a_dst
+        raw = u[:, None] + v[None, :]
+        logits = np.where(raw > 0, raw, 0.2 * raw)
+        mask = a.to_dense() != 0
+        exp = np.where(mask, np.exp(logits - logits.max()), 0)
+        expected = exp / np.maximum(exp.sum(1, keepdims=True), 1e-300)
+        assert np.allclose(s.to_dense(), np.where(mask, expected, 0), atol=1e-6)
+
+
+def _numeric_vjp(psi_fn, h, ds, eps=1e-6):
+    """Finite-difference d(sum(S.data * ds))/dH."""
+    grad = np.zeros_like(h)
+    for i in range(h.shape[0]):
+        for j in range(h.shape[1]):
+            h[i, j] += eps
+            up = float(np.dot(psi_fn(h), ds))
+            h[i, j] -= 2 * eps
+            down = float(np.dot(psi_fn(h), ds))
+            h[i, j] += eps
+            grad[i, j] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestPsiVJPs:
+    def test_va_vjp_numeric(self, rng, small_adjacency):
+        a = small_adjacency
+        h = rng.normal(size=(a.shape[0], 3))
+        ds = rng.normal(size=a.nnz)
+        _, cache = psi_va(a, h)
+        analytic = psi_va_vjp(ds, cache)
+        numeric = _numeric_vjp(lambda hh: psi_va(a, hh)[0].data, h, ds)
+        assert np.allclose(analytic, numeric, atol=1e-4)
+
+    def test_agnn_vjp_numeric(self, rng, small_adjacency):
+        a = small_adjacency
+        h = rng.normal(size=(a.shape[0], 3))
+        ds = rng.normal(size=a.nnz)
+        _, cache = psi_agnn(a, h, beta=1.4)
+        analytic, dbeta = psi_agnn_vjp(ds, cache)
+        numeric = _numeric_vjp(
+            lambda hh: psi_agnn(a, hh, beta=1.4)[0].data, h, ds
+        )
+        assert np.allclose(analytic, numeric, atol=1e-4)
+        # beta gradient numerically
+        eps = 1e-6
+        up = float(np.dot(psi_agnn(a, h, beta=1.4 + eps)[0].data, ds))
+        down = float(np.dot(psi_agnn(a, h, beta=1.4 - eps)[0].data, ds))
+        assert np.isclose(dbeta, (up - down) / (2 * eps), atol=1e-4)
+
+    def test_gat_vjp_numeric(self, rng, small_adjacency):
+        a = small_adjacency
+        k = 3
+        hp = rng.normal(size=(a.shape[0], k))
+        a_src = rng.normal(size=k)
+        a_dst = rng.normal(size=k)
+        ds = rng.normal(size=a.nnz)
+        _, cache = psi_gat(a, hp, a_src, a_dst)
+        dhp, da_src, da_dst = psi_gat_vjp(ds, cache)
+        numeric_hp = _numeric_vjp(
+            lambda x: psi_gat(a, x, a_src, a_dst)[0].data, hp, ds
+        )
+        assert np.allclose(dhp, numeric_hp, atol=1e-4)
+        eps = 1e-6
+        for vec, grad in ((a_src, da_src), (a_dst, da_dst)):
+            for i in range(k):
+                vec[i] += eps
+                up = float(np.dot(psi_gat(a, hp, a_src, a_dst)[0].data, ds))
+                vec[i] -= 2 * eps
+                down = float(np.dot(psi_gat(a, hp, a_src, a_dst)[0].data, ds))
+                vec[i] += eps
+                assert np.isclose(grad[i], (up - down) / (2 * eps), atol=1e-4)

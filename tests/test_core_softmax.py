@@ -1,0 +1,55 @@
+"""Tests for the graph softmax global formulation (Section 4.2)."""
+
+import numpy as np
+
+from repro.core.softmax import graph_softmax, graph_softmax_dense
+from tests.conftest import random_csr
+
+
+class TestDenseReference:
+    def test_unmasked_matches_standard_softmax(self, rng):
+        x = rng.normal(size=(4, 4))
+        out = graph_softmax_dense(x)
+        expected = np.exp(x) / np.exp(x).sum(axis=1, keepdims=True)
+        assert np.allclose(out, expected)
+
+    def test_masked_rows_normalised_over_mask_only(self, rng):
+        x = rng.normal(size=(5, 5))
+        mask = rng.random((5, 5)) < 0.6
+        out = graph_softmax_dense(x, mask)
+        assert np.allclose(out[~mask], 0.0)
+        sums = out.sum(axis=1)
+        nonempty = mask.any(axis=1)
+        assert np.allclose(sums[nonempty], 1.0)
+
+    def test_fully_masked_row_is_zero(self, rng):
+        x = rng.normal(size=(3, 3))
+        mask = np.ones((3, 3), dtype=bool)
+        mask[1] = False
+        out = graph_softmax_dense(x, mask)
+        assert np.allclose(out[1], 0.0)
+
+
+class TestSparseMatchesDense:
+    def test_equivalence_on_random_patterns(self, rng):
+        csr = random_csr(rng, 10, 10, ensure_empty_row=True)
+        scores = csr.with_data(rng.normal(size=csr.nnz))
+        sparse_out = graph_softmax(scores)
+        mask = csr.to_dense() != 0
+        dense_scores = np.zeros((10, 10))
+        dense_scores[mask] = 0  # placeholder
+        dense_scores[csr.expand_rows(), csr.indices] = scores.data
+        dense_out = graph_softmax_dense(dense_scores, mask)
+        assert np.allclose(sparse_out.to_dense(), dense_out)
+
+    def test_sparse_handles_large_scores(self, rng):
+        csr = random_csr(rng, 6, 6)
+        scores = csr.with_data(rng.normal(size=csr.nnz) * 500)
+        out = graph_softmax(scores)
+        assert np.all(np.isfinite(out.data))
+
+    def test_pattern_preserved(self, rng):
+        csr = random_csr(rng, 6, 6)
+        out = graph_softmax(csr.with_data(rng.normal(size=csr.nnz)))
+        assert out.indptr is csr.indptr
+        assert out.indices is csr.indices

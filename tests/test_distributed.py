@@ -1,0 +1,196 @@
+"""Tests for the 1.5D distributed machinery: partitioning, ops, layers."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.ops import (
+    OpSequencer,
+    distributed_row_softmax,
+    distributed_row_softmax_backward,
+    reduce_and_redistribute,
+    row_bcast_from_diagonal,
+    transpose_exchange,
+)
+from repro.distributed.partition import (
+    block_range,
+    block_ranges,
+    collect_feature_blocks,
+    distribute_adjacency,
+    distribute_features,
+)
+from repro.runtime import run_spmd, square_grid
+from repro.tensor.csr import CSRMatrix
+from repro.tensor.kernels import spmm
+from repro.tensor.segment import segment_softmax
+from tests.conftest import random_csr
+
+
+class TestBlockRanges:
+    def test_cover_without_gaps(self):
+        ranges = block_ranges(13, 4)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 13
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 == b0
+
+    def test_balanced_within_one(self):
+        sizes = [b - a for a, b in block_ranges(17, 5)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_block_range_matches_block_ranges(self):
+        for n, parts in [(13, 4), (16, 4), (7, 7), (5, 2)]:
+            full = block_ranges(n, parts)
+            for index in range(parts):
+                assert block_range(n, parts, index) == full[index]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            block_ranges(5, 0)
+        with pytest.raises(ValueError):
+            block_range(5, 2, 3)
+
+
+class TestPartition:
+    @pytest.mark.parametrize("n", [16, 13])
+    def test_adjacency_blocks_tile_the_matrix(self, rng, n):
+        a = random_csr(rng, n, n)
+        dense = a.to_dense()
+
+        def program(comm):
+            grid = square_grid(comm)
+            block = distribute_adjacency(a, grid)
+            r0, r1 = block_range(n, grid.px, grid.row)
+            c0, c1 = block_range(n, grid.py, grid.col)
+            assert np.allclose(block.to_dense(), dense[r0:r1, c0:c1])
+            return True
+
+        assert all(run_spmd(4, program, timeout=20).values)
+
+    def test_feature_blocks_column_replicated(self, rng):
+        h = rng.normal(size=(12, 3))
+
+        def program(comm):
+            grid = square_grid(comm)
+            block = distribute_features(h, grid)
+            c0, c1 = block_range(12, grid.py, grid.col)
+            assert np.allclose(block, h[c0:c1])
+            return block
+
+        values = run_spmd(4, program, timeout=20).values
+        # Ranks 0 and 2 share grid column 0 -> identical replicas.
+        assert np.allclose(values[0], values[2])
+
+    def test_collect_reassembles(self, rng):
+        h = rng.normal(size=(10, 2))
+
+        def program(comm):
+            grid = square_grid(comm)
+            block = distribute_features(h, grid)
+            return collect_feature_blocks(grid, block)
+
+        values = run_spmd(4, program, timeout=20).values
+        assert np.allclose(values[0], h)
+        assert values[1] is None
+
+    def test_rectangular_grid_rejected(self, rng):
+        a = random_csr(rng, 12, 12)
+
+        def program(comm):
+            grid = square_grid(comm, px=2, py=3)
+            with pytest.raises(ValueError):
+                distribute_adjacency(a, grid)
+            return True
+
+        assert all(run_spmd(6, program, timeout=20).values)
+
+
+class TestOps:
+    @pytest.mark.parametrize("p", [1, 4, 9])
+    @pytest.mark.parametrize("n", [18, 13])
+    def test_reduce_and_redistribute_equals_spmm(self, rng, p, n):
+        a = random_csr(rng, n, n)
+        h = rng.normal(size=(n, 3))
+        reference = a.to_dense() @ h
+
+        def program(comm):
+            grid = square_grid(comm)
+            a_block = distribute_adjacency(a, grid)
+            h_block = distribute_features(h, grid)
+            partial = spmm(a_block, h_block, backend="reference")
+            out = reduce_and_redistribute(grid, partial, OpSequencer())
+            c0, c1 = block_range(n, grid.py, grid.col)
+            assert np.allclose(out, reference[c0:c1])
+            return True
+
+        assert all(run_spmd(p, program, timeout=30).values)
+
+    def test_row_bcast_from_diagonal(self, rng):
+        h = rng.normal(size=(12, 4))
+
+        def program(comm):
+            grid = square_grid(comm)
+            block = distribute_features(h, grid)
+            row_block = row_bcast_from_diagonal(grid, block)
+            r0, r1 = block_range(12, grid.px, grid.row)
+            assert np.allclose(row_block, h[r0:r1])
+            return True
+
+        assert all(run_spmd(4, program, timeout=20).values)
+
+    def test_transpose_exchange_swaps_blocks(self):
+        def program(comm):
+            grid = square_grid(comm)
+            payload = np.full(2, float(grid.row))
+            out = transpose_exchange(grid, payload, OpSequencer())
+            assert np.allclose(out, float(grid.col))
+            return True
+
+        assert all(run_spmd(9, program, timeout=20).values)
+
+    @pytest.mark.parametrize("p", [1, 4, 9])
+    def test_distributed_softmax_matches_single_node(self, rng, p):
+        n = 15
+        a = random_csr(rng, n, n, density=0.4)
+        scores = rng.normal(size=a.nnz)
+        expected = segment_softmax(scores, a.indptr)
+
+        def program(comm):
+            grid = square_grid(comm)
+            a_block = distribute_adjacency(a, grid)
+            # Scores restricted to the block's entries, in block order.
+            r0, r1 = block_range(n, grid.px, grid.row)
+            c0, c1 = block_range(n, grid.py, grid.col)
+            full = a.with_data(scores).extract_block(r0, r1, c0, c1)
+            out = distributed_row_softmax(grid, a_block, full.data)
+            ref_block = (
+                a.with_data(expected).extract_block(r0, r1, c0, c1).data
+            )
+            assert np.allclose(out, ref_block)
+            return True
+
+        assert all(run_spmd(p, program, timeout=30).values)
+
+    def test_distributed_softmax_backward_matches(self, rng):
+        n = 12
+        a = random_csr(rng, n, n, density=0.5)
+        scores = rng.normal(size=a.nnz)
+        grads = rng.normal(size=a.nnz)
+        soft = segment_softmax(scores, a.indptr)
+        from repro.tensor.kernels import masked_row_softmax_backward
+
+        expected = masked_row_softmax_backward(soft, grads, a.indptr)
+
+        def program(comm):
+            grid = square_grid(comm)
+            r0, r1 = block_range(n, grid.px, grid.row)
+            c0, c1 = block_range(n, grid.py, grid.col)
+            a_block = distribute_adjacency(a, grid)
+            soft_b = a.with_data(soft).extract_block(r0, r1, c0, c1).data
+            grad_b = a.with_data(grads).extract_block(r0, r1, c0, c1).data
+            out = distributed_row_softmax_backward(grid, a_block, soft_b,
+                                                   grad_b)
+            ref = a.with_data(expected).extract_block(r0, r1, c0, c1).data
+            assert np.allclose(out, ref)
+            return True
+
+        assert all(run_spmd(4, program, timeout=20).values)

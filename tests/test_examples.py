@@ -1,0 +1,37 @@
+"""Every example script must run cleanly end to end.
+
+The examples are the library's living documentation; each asserts its
+own claims internally (accuracy thresholds, bit-faithfulness, predictor
+matches), so executing them is a meaningful integration check, not a
+smoke test.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+
+
+def test_examples_present():
+    """The deliverable requires a quickstart plus domain scenarios."""
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3

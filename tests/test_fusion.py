@@ -1,0 +1,194 @@
+"""Tests for the op-DAG toolchain: IR, sparsity, fusion, execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.psi import psi_agnn, psi_gat, psi_va
+from repro.fusion import (
+    OpDag,
+    Sparsity,
+    agnn_psi_dag,
+    execute,
+    fuse,
+    gat_psi_dag,
+    infer_sparsity,
+    va_psi_dag,
+)
+from repro.graphs import erdos_renyi
+from repro.graphs.prep import prepare_adjacency
+
+
+@pytest.fixture(scope="module")
+def graph_inputs():
+    rng = np.random.default_rng(0)
+    a = prepare_adjacency(erdos_renyi(60, 400, seed=1), dtype=np.float64)
+    h = rng.normal(size=(60, 5))
+    w = rng.normal(size=(5, 5))
+    a_src = rng.normal(size=5)
+    a_dst = rng.normal(size=5)
+    return a, h, w, a_src, a_dst
+
+
+class TestDagBuilder:
+    def test_shape_inference_chain(self):
+        dag = OpDag()
+        h = dag.input("H", "nk")
+        assert dag.nodes[dag.transpose(h)].shape_kind == "kn"
+        gram = dag.matmul(h, dag.transpose(h))
+        assert dag.nodes[gram].shape_kind == "nn"
+
+    def test_invalid_matmul_rejected(self):
+        dag = OpDag()
+        h = dag.input("H", "nk")
+        with pytest.raises(ValueError):
+            dag.matmul(h, h)
+
+    def test_elementwise_kind_mismatch(self):
+        dag = OpDag()
+        h = dag.input("H", "nk")
+        n = dag.input("x", "n")
+        with pytest.raises(ValueError):
+            dag.add(h, n)
+
+    def test_sparse_must_be_nn(self):
+        dag = OpDag()
+        with pytest.raises(ValueError):
+            dag.input("H", "nk", sparse=True)
+
+    def test_undefined_operand(self):
+        dag = OpDag()
+        with pytest.raises(ValueError):
+            dag.exp(42)
+
+    def test_pretty_listing(self):
+        dag = va_psi_dag()
+        listing = dag.pretty()
+        assert "matmul" in listing and "hadamard" in listing
+
+
+class TestSparsityInference:
+    def test_va_classification(self):
+        dag = va_psi_dag()
+        cls = infer_sparsity(dag)
+        kinds = [cls[node.id] for node in dag.nodes]
+        assert Sparsity.VIRTUAL in kinds  # the Gram matrix
+        assert cls[dag.output] is Sparsity.SPARSE
+
+    def test_softmax_denominator_is_virtual(self):
+        dag = agnn_psi_dag()
+        cls = infer_sparsity(dag)
+        replicates = [
+            node.id for node in dag.nodes
+            if node.op in ("replicate", "outer")
+        ]
+        assert all(cls[nid] is Sparsity.VIRTUAL for nid in replicates)
+
+    def test_parameter_sized_ops_are_dense(self):
+        dag = gat_psi_dag()
+        cls = infer_sparsity(dag)
+        for node in dag.nodes:
+            if node.shape_kind in ("nk", "kk", "k", "n"):
+                assert cls[node.id] is Sparsity.DENSE
+
+
+class TestFusionPass:
+    @pytest.mark.parametrize(
+        "builder,expected_kernels",
+        [(va_psi_dag, 1), (agnn_psi_dag, 2), (gat_psi_dag, 2)],
+    )
+    def test_kernel_counts(self, builder, expected_kernels):
+        program = fuse(builder())
+        assert len(program.kernels) == expected_kernels
+
+    def test_all_virtuals_fused(self):
+        for builder in (va_psi_dag, agnn_psi_dag, gat_psi_dag):
+            program = fuse(builder())
+            fused = set()
+            for kernel in program.kernels:
+                fused |= set(kernel.fused_nodes)
+            assert set(program.virtual_nodes) <= fused
+
+    def test_escaping_virtual_rejected(self):
+        dag = OpDag()
+        h = dag.input("H", "nk")
+        gram = dag.matmul(h, dag.transpose(h))
+        dag.set_output(gram)  # virtual output: must materialise
+        with pytest.raises(ValueError, match="virtual"):
+            fuse(dag)
+
+    def test_virtual_consumed_by_matmul_rejected(self):
+        dag = OpDag()
+        h = dag.input("H", "nk")
+        gram = dag.matmul(h, dag.transpose(h))   # virtual n x n
+        out = dag.matmul(gram, h)                # would need the dense
+        dag.set_output(out)
+        with pytest.raises(ValueError, match="escapes"):
+            fuse(dag)
+
+    def test_kernel_description(self):
+        program = fuse(va_psi_dag())
+        text = program.kernels[0].describe(program.dag)
+        assert "SDDMM" in text
+
+
+class TestExecution:
+    @pytest.mark.parametrize("mode", ["fused", "tiled", "dense"])
+    def test_va_matches_hand_kernel(self, graph_inputs, mode):
+        a, h, *_ = graph_inputs
+        reference, _ = psi_va(a, h)
+        out = execute(va_psi_dag(), {"H": h, "A": a}, mode=mode, tile_rows=16)
+        assert np.allclose(out.data, reference.data, atol=1e-10)
+
+    @pytest.mark.parametrize("mode", ["fused", "tiled", "dense"])
+    def test_agnn_matches_hand_kernel(self, graph_inputs, mode):
+        a, h, *_ = graph_inputs
+        reference, _ = psi_agnn(a, h, beta=1.3)
+        out = execute(agnn_psi_dag(beta=1.3), {"H": h, "A": a}, mode=mode,
+                      tile_rows=16)
+        assert np.allclose(out.data, reference.data, atol=1e-9)
+
+    @pytest.mark.parametrize("mode", ["fused", "tiled", "dense"])
+    def test_gat_matches_hand_kernel(self, graph_inputs, mode):
+        a, h, w, a_src, a_dst = graph_inputs
+        reference, _ = psi_gat(a, h @ w, a_src, a_dst)
+        out = execute(
+            gat_psi_dag(),
+            {"H": h, "A": a, "W": w, "a_src": a_src, "a_dst": a_dst},
+            mode=mode, tile_rows=16,
+        )
+        assert np.allclose(out.data, reference.data, atol=1e-9)
+
+    def test_tile_size_invariance(self, graph_inputs):
+        a, h, *_ = graph_inputs
+        outs = [
+            execute(agnn_psi_dag(), {"H": h, "A": a}, mode="tiled",
+                    tile_rows=t).data
+            for t in (1, 7, 64, 1000)
+        ]
+        for other in outs[1:]:
+            assert np.allclose(outs[0], other)
+
+    def test_dense_result_returned_directly(self, graph_inputs):
+        a, h, *_ = graph_inputs
+        dag = OpDag()
+        hh = dag.input("H", "nk")
+        dag.set_output(dag.row_norm(hh))
+        out = execute(dag, {"H": h})
+        assert np.allclose(out, np.linalg.norm(h, axis=1))
+
+    def test_missing_output_rejected(self, graph_inputs):
+        a, h, *_ = graph_inputs
+        dag = OpDag()
+        dag.input("H", "nk")
+        with pytest.raises(ValueError):
+            execute(dag, {"H": h})
+
+    def test_invalid_mode(self, graph_inputs):
+        a, h, *_ = graph_inputs
+        with pytest.raises(ValueError):
+            execute(va_psi_dag(), {"H": h, "A": a}, mode="quantum")
+
+    def test_sparse_input_type_checked(self, graph_inputs):
+        _, h, *_ = graph_inputs
+        with pytest.raises(TypeError):
+            execute(va_psi_dag(), {"H": h, "A": np.eye(60)})

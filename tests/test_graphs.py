@@ -1,0 +1,203 @@
+"""Tests for graph generators, preprocessing and IO."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    density,
+    ensure_min_degree,
+    erdos_renyi,
+    graph_stats,
+    kronecker,
+    load_npz,
+    makg_like,
+    powerlaw_graph,
+    prepare_adjacency,
+    save_npz,
+    synthetic_classification,
+)
+from repro.tensor.coo import COOMatrix
+
+
+class TestKronecker:
+    def test_rounds_to_power_of_two(self):
+        g = kronecker(1000, 5000, seed=0)
+        assert g.shape[0] == 512
+
+    def test_no_self_loops_and_symmetric(self):
+        g = kronecker(256, 3000, seed=1)
+        dense = g.to_dense()
+        assert np.all(np.diag(dense) == 0)
+        assert np.array_equal(dense != 0, (dense != 0).T)
+
+    def test_no_isolated_vertices(self):
+        g = kronecker(128, 300, seed=2)
+        deg = g.row_degrees() + g.col_degrees()
+        assert np.all(deg > 0)
+
+    def test_heavy_tail_degrees(self):
+        """Kronecker graphs must be skewed: max degree >> mean degree."""
+        g = kronecker(1 << 10, 40000, seed=3)
+        stats = graph_stats(g.to_csr())
+        assert stats.max_degree > 4 * stats.mean_degree
+
+    def test_deterministic_by_seed(self):
+        a = kronecker(128, 1000, seed=7)
+        b = kronecker(128, 1000, seed=7)
+        assert np.array_equal(a.rows, b.rows)
+        assert np.array_equal(a.cols, b.cols)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            kronecker(1, 10)
+        with pytest.raises(ValueError):
+            kronecker(16, 0)
+        with pytest.raises(ValueError):
+            kronecker(16, 10, initiator=(0.5, 0.4, 0.3))
+
+
+class TestErdosRenyi:
+    def test_edge_count_close_to_target(self):
+        g = erdos_renyi(500, 8000, seed=0, symmetrize=False,
+                        ensure_connected=False)
+        assert abs(g.nnz - 8000) <= 80
+
+    def test_density_parameterisation(self):
+        g = erdos_renyi(400, q=0.05, seed=1, symmetrize=False,
+                        ensure_connected=False)
+        assert abs(density(g) - 0.05) < 0.01
+
+    def test_uniformish_degrees(self):
+        """ER graphs are load balanced: max degree close to mean."""
+        g = erdos_renyi(1 << 10, 50000, seed=2)
+        stats = graph_stats(g.to_csr())
+        assert stats.max_degree < 2.5 * stats.mean_degree
+
+    def test_requires_exactly_one_of_m_q(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10)
+        with pytest.raises(ValueError):
+            erdos_renyi(10, m=5, q=0.1)
+
+    def test_rejects_overfull(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(4, m=100)
+
+
+class TestPowerlaw:
+    def test_heavy_tail(self):
+        g = powerlaw_graph(1 << 10, 20000, seed=0)
+        stats = graph_stats(g.to_csr())
+        assert stats.max_degree > 5 * stats.mean_degree
+
+    def test_makg_like_density(self):
+        g = makg_like(n=1 << 10, seed=0)
+        stats = graph_stats(g.to_csr())
+        # ~29 sampled edges per vertex, doubled by symmetrisation, minus
+        # dedup losses.
+        assert 15 < stats.mean_degree < 70
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            powerlaw_graph(10, 20, exponent=0.5)
+
+
+class TestPrep:
+    def test_ensure_min_degree_repairs_isolates(self, rng):
+        coo = COOMatrix([0, 1], [1, 0], shape=(6, 6))
+        fixed = ensure_min_degree(coo, rng=0)
+        deg = fixed.row_degrees() + fixed.col_degrees()
+        assert np.all(deg > 0)
+
+    def test_ensure_min_degree_no_self_loops_added(self):
+        coo = COOMatrix([0], [1], shape=(4, 4))
+        fixed = ensure_min_degree(coo, rng=0)
+        assert np.all(fixed.rows != fixed.cols)
+
+    def test_ensure_min_degree_noop_when_connected(self):
+        coo = COOMatrix([0, 1, 2, 0], [1, 2, 0, 2], shape=(3, 3))
+        fixed = ensure_min_degree(coo, rng=0)
+        assert fixed is coo
+
+    def test_prepare_adjacency_adds_diagonal(self, rng):
+        coo = erdos_renyi(20, 60, seed=0)
+        csr = prepare_adjacency(coo)
+        dense = csr.to_dense()
+        assert np.all(np.diag(dense) == 1)
+        assert csr.dtype == np.float32
+
+    def test_graph_stats_fields(self):
+        csr = prepare_adjacency(erdos_renyi(50, 200, seed=0))
+        stats = graph_stats(csr)
+        assert stats.n == 50
+        assert stats.m == csr.nnz
+        assert stats.isolated == 0
+        assert 0 < stats.density < 1
+
+    @given(st.integers(min_value=2, max_value=64),
+           st.integers(min_value=1, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_property_er_always_valid(self, n, m):
+        m = min(m, n * (n - 1) // 2)
+        if m == 0:
+            return
+        g = erdos_renyi(n, m, seed=0)
+        assert g.shape == (n, n)
+        assert np.all(g.rows != g.cols)
+        deg = g.row_degrees() + g.col_degrees()
+        assert np.all(deg > 0)
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path, rng):
+        g = erdos_renyi(30, 100, seed=5)
+        path = tmp_path / "graph.npz"
+        save_npz(path, g)
+        back = load_npz(path)
+        assert back.shape == g.shape
+        assert np.allclose(back.to_dense(), g.to_dense())
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        np.savez_compressed(tmp_path / "bad.npz", row=np.array([0]))
+        with pytest.raises(ValueError):
+            load_npz(tmp_path / "bad.npz")
+
+
+class TestSyntheticDataset:
+    def test_masks_partition_vertices(self):
+        data = synthetic_classification(n=100, seed=0)
+        total = (
+            data.train_mask.astype(int)
+            + data.val_mask.astype(int)
+            + data.test_mask.astype(int)
+        )
+        assert np.all(total == 1)
+
+    def test_shapes(self):
+        data = synthetic_classification(n=80, num_classes=3, feature_dim=9,
+                                        seed=1)
+        assert data.features.shape == (80, 9)
+        assert data.labels.shape == (80,)
+        assert data.num_classes == 3
+        assert set(np.unique(data.labels)) <= set(range(3))
+
+    def test_homophily_increases_same_class_edges(self):
+        high = synthetic_classification(n=400, homophily=0.95, seed=2)
+        low = synthetic_classification(n=400, homophily=0.3, seed=2)
+
+        def same_class_fraction(data):
+            csr = data.adjacency
+            rows = csr.expand_rows()
+            cols = csr.indices
+            off_diag = rows != cols
+            return float(
+                (data.labels[rows[off_diag]] == data.labels[cols[off_diag]]).mean()
+            )
+
+        assert same_class_fraction(high) > same_class_fraction(low) + 0.2
+
+    def test_invalid_homophily(self):
+        with pytest.raises(ValueError):
+            synthetic_classification(n=10, homophily=1.5)

@@ -1,0 +1,168 @@
+"""Tests for the single-node models (forward semantics, structure)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    GnnModel,
+    MultiHeadGATLayer,
+    build_model,
+    normalize_adjacency,
+)
+from repro.models.agnn import AGNNLayer
+from repro.models.gat import GATLayer
+from repro.models.gcn import GCNLayer
+from repro.models.va import VALayer
+from repro.util.counters import FlopCounter
+
+MODELS = ["VA", "AGNN", "GAT", "GCN"]
+
+
+def adjacency_for(name, a):
+    return normalize_adjacency(a) if name == "GCN" else a
+
+
+class TestBuildModel:
+    @pytest.mark.parametrize("name", MODELS)
+    def test_dimensions_chain(self, name):
+        model = build_model(name, 8, 16, 3, num_layers=4)
+        assert model.num_layers == 4
+        assert model.layers[0].in_dim == 8
+        assert model.layers[-1].out_dim == 3
+
+    def test_final_layer_is_linear(self):
+        model = build_model("GAT", 8, 16, 3, num_layers=3)
+        assert model.layers[-1].activation.name == "identity"
+        assert model.layers[0].activation.name == "elu"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            build_model("Transformer", 8, 16, 3)
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            GnnModel([])
+
+
+class TestForward:
+    @pytest.mark.parametrize("name", MODELS)
+    def test_output_shape(self, rng, small_adjacency, name):
+        model = build_model(name, 5, 8, 3, num_layers=2, dtype=np.float64)
+        h = rng.normal(size=(60, 5))
+        out = model.forward(adjacency_for(name, small_adjacency), h)
+        assert out.shape == (60, 3)
+        assert np.all(np.isfinite(out))
+
+    @pytest.mark.parametrize("name", MODELS)
+    def test_inference_equals_training_forward(self, rng, small_adjacency,
+                                               name):
+        model = build_model(name, 5, 8, 3, num_layers=2, dtype=np.float64)
+        h = rng.normal(size=(60, 5))
+        a = adjacency_for(name, small_adjacency)
+        out_train = model.forward(a, h, training=True)
+        out_infer = model.forward(a, h, training=False)
+        assert np.allclose(out_train, out_infer)
+
+    @pytest.mark.parametrize("name", ["VA", "AGNN", "GCN"])
+    def test_composition_orders_equivalent(self, rng, small_adjacency, name):
+        h = rng.normal(size=(60, 5))
+        a = adjacency_for(name, small_adjacency)
+        m_proj = build_model(name, 5, 8, 3, num_layers=2, seed=4,
+                             order="project_first", dtype=np.float64)
+        m_agg = build_model(name, 5, 8, 3, num_layers=2, seed=4,
+                            order="aggregate_first", dtype=np.float64)
+        assert np.allclose(
+            m_proj.forward(a, h), m_agg.forward(a, h), atol=1e-9
+        )
+
+    def test_deterministic_given_seed(self, rng, small_adjacency):
+        h = rng.normal(size=(60, 5))
+        out1 = build_model("GAT", 5, 8, 3, seed=9, dtype=np.float64).forward(
+            small_adjacency, h
+        )
+        out2 = build_model("GAT", 5, 8, 3, seed=9, dtype=np.float64).forward(
+            small_adjacency, h
+        )
+        assert np.array_equal(out1, out2)
+
+    def test_flops_counted(self, rng, small_adjacency):
+        model = build_model("GAT", 5, 8, 3, num_layers=2)
+        counter = FlopCounter()
+        model.forward(small_adjacency, rng.normal(size=(60, 5)).astype(np.float32),
+                      counter=counter)
+        assert counter.total > 0
+        assert "SpMM" in counter.by_label
+
+    def test_backward_requires_training_forward(self, rng, small_adjacency):
+        model = build_model("VA", 5, 8, 3, num_layers=2, dtype=np.float64)
+        h = rng.normal(size=(60, 5))
+        model.forward(small_adjacency, h, training=False)
+        with pytest.raises(RuntimeError):
+            model.backward(np.zeros((60, 3)))
+
+    def test_zero_caches_frees_state(self, rng, small_adjacency):
+        model = build_model("VA", 5, 8, 3, num_layers=2, dtype=np.float64)
+        model.forward(small_adjacency, rng.normal(size=(60, 5)))
+        model.zero_caches()
+        with pytest.raises(RuntimeError):
+            model.backward(np.zeros((60, 3)))
+
+
+class TestLayerValidation:
+    @pytest.mark.parametrize("cls", [VALayer, AGNNLayer, GCNLayer])
+    def test_invalid_order_rejected(self, cls):
+        with pytest.raises(ValueError):
+            cls(4, 4, order="diagonal_first")
+
+    def test_multihead_invalid_combine(self):
+        with pytest.raises(ValueError):
+            MultiHeadGATLayer(4, 4, heads=2, combine="xor")
+
+
+class TestMultiHeadGAT:
+    def test_concat_width(self, rng, small_adjacency):
+        layer = MultiHeadGATLayer(5, 4, heads=3, combine="concat",
+                                  dtype=np.float64)
+        out, _ = layer.forward(small_adjacency, rng.normal(size=(60, 5)))
+        assert out.shape == (60, 12)
+
+    def test_mean_width(self, rng, small_adjacency):
+        layer = MultiHeadGATLayer(5, 4, heads=3, combine="mean",
+                                  dtype=np.float64)
+        out, _ = layer.forward(small_adjacency, rng.normal(size=(60, 5)))
+        assert out.shape == (60, 4)
+
+    def test_single_head_mean_matches_gat_layer(self, rng, small_adjacency):
+        multi = MultiHeadGATLayer(5, 4, heads=1, combine="mean",
+                                  activation="elu", seed=7, dtype=np.float64)
+        single = GATLayer(5, 4, activation="elu", seed=7, dtype=np.float64)
+        h = rng.normal(size=(60, 5))
+        out_m, _ = multi.forward(small_adjacency, h)
+        out_s, _ = single.forward(small_adjacency, h)
+        assert np.allclose(out_m, out_s)
+
+    def test_model_factory_with_heads(self, rng, small_adjacency):
+        model = build_model("GAT", 5, 4, 3, num_layers=2, heads=2,
+                            dtype=np.float64)
+        out = model.forward(small_adjacency, rng.normal(size=(60, 5)))
+        assert out.shape == (60, 3)
+
+
+class TestNormalizeAdjacency:
+    def test_sym_rows_scale(self, small_adjacency):
+        norm = normalize_adjacency(small_adjacency, mode="sym")
+        # Symmetric normalisation of a symmetric pattern stays symmetric.
+        dense = norm.to_dense()
+        assert np.allclose(dense, dense.T, atol=1e-6)
+
+    def test_row_normalisation_sums_to_one(self, small_adjacency):
+        norm = normalize_adjacency(small_adjacency, mode="row")
+        assert np.allclose(norm.row_sum(), 1.0, atol=1e-6)
+
+    def test_none_mode_keeps_binary(self, small_adjacency):
+        norm = normalize_adjacency(small_adjacency, mode="none")
+        assert set(np.unique(norm.data)) == {1.0}
+
+    def test_invalid_mode(self, small_adjacency):
+        with pytest.raises(ValueError):
+            normalize_adjacency(small_adjacency, mode="cube")

@@ -1,0 +1,83 @@
+"""Tests for the communication-trace facility."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import run_spmd
+from repro.runtime.trace import CommTrace, diff_traces
+
+
+class TestTraceRecording:
+    def test_disabled_by_default(self):
+        result = run_spmd(2, lambda comm: comm.allreduce(np.ones(2)),
+                          timeout=10)
+        assert result.stats.per_rank[0].trace is None
+
+    def test_records_sends_with_phases(self):
+        def program(comm):
+            comm.stats.set_phase("alpha")
+            comm.allreduce(np.ones(4))
+            comm.stats.set_phase("beta")
+            comm.bcast(np.ones(4) if comm.rank == 0 else None, root=0)
+            return True
+
+        result = run_spmd(2, program, timeout=10, trace=True)
+        trace = result.stats.per_rank[0].trace
+        assert trace is not None
+        assert len(trace.events) == result.stats.per_rank[0].messages_sent
+        phases = trace.by_phase()
+        assert set(phases) <= {"alpha", "beta"}
+        assert sum(phases.values()) == len(trace.events)
+
+    def test_capacity_bound(self):
+        trace = CommTrace(capacity=3)
+        for i in range(5):
+            trace.record(i, "p", 10)
+        assert len(trace.events) == 3
+        assert trace.dropped == 2
+
+
+class TestDiffTraces:
+    def test_agreement(self):
+        a, b = CommTrace(), CommTrace()
+        for trace in (a, b):
+            trace.record(1, "x", 10)
+            trace.record(2, "y", 99)  # sizes may differ; phases matter
+        b.events[1] = type(b.events[1])(2, "y", 50)
+        assert diff_traces(a, b) == "traces agree"
+
+    def test_phase_divergence_detected(self):
+        a, b = CommTrace(), CommTrace()
+        a.record(1, "psi", 10)
+        b.record(1, "redistribute", 10)
+        report = diff_traces(a, b)
+        assert "divergence at event 0" in report
+        assert "psi" in report and "redistribute" in report
+
+    def test_length_divergence_detected(self):
+        a, b = CommTrace(), CommTrace()
+        a.record(1, "x", 10)
+        a.record(2, "x", 10)
+        b.record(1, "x", 10)
+        assert "extra events" in diff_traces(a, b)
+
+    def test_symmetric_collectives_give_identical_traces(self):
+        """Ring collectives send the same message sequence on every
+        rank, so their traces agree exactly — the baseline diff_traces
+        compares against. (Tree collectives are rank-asymmetric by
+        design: roots and leaves send different counts.)"""
+
+        def program(comm):
+            comm.stats.set_phase("setup")
+            comm.allgather(np.full(2, float(comm.rank)))
+            comm.stats.set_phase("work")
+            for _ in range(3):
+                comm.alltoall(
+                    [np.full(2, float(d)) for d in range(comm.size)]
+                )
+            return True
+
+        result = run_spmd(4, program, timeout=10, trace=True)
+        traces = [s.trace for s in result.stats.per_rank]
+        for other in traces[1:]:
+            assert diff_traces(traces[0], other) == "traces agree"

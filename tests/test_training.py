@@ -1,0 +1,251 @@
+"""Tests for losses, optimisers, trainer and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model, normalize_adjacency
+from repro.training import (
+    Adam,
+    MSELoss,
+    SGD,
+    SoftmaxCrossEntropyLoss,
+    Trainer,
+    accuracy,
+    f1_macro,
+)
+
+
+class TestCrossEntropy:
+    def test_value_matches_manual(self, rng):
+        logits = rng.normal(size=(5, 3))
+        labels = rng.integers(0, 3, 5)
+        loss = SoftmaxCrossEntropyLoss()
+        probs = np.exp(logits) / np.exp(logits).sum(1, keepdims=True)
+        manual = -np.log(probs[np.arange(5), labels]).mean()
+        assert np.isclose(loss.value(logits, labels), manual)
+
+    def test_gradient_numeric(self, rng):
+        logits = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 4, 6)
+        loss = SoftmaxCrossEntropyLoss()
+        grad = loss.gradient(logits, labels)
+        eps = 1e-6
+        for _ in range(10):
+            i, j = rng.integers(0, 6), rng.integers(0, 4)
+            up = logits.copy(); up[i, j] += eps
+            down = logits.copy(); down[i, j] -= eps
+            num = (loss.value(up, labels) - loss.value(down, labels)) / (2 * eps)
+            assert np.isclose(grad[i, j], num, atol=1e-5)
+
+    def test_mask_restricts_loss_and_gradient(self, rng):
+        logits = rng.normal(size=(8, 3))
+        labels = rng.integers(0, 3, 8)
+        mask = np.zeros(8, dtype=bool)
+        mask[:3] = True
+        loss = SoftmaxCrossEntropyLoss(mask)
+        grad = loss.gradient(logits, labels)
+        assert np.allclose(grad[~mask], 0)
+        unmasked = SoftmaxCrossEntropyLoss()
+        assert np.isclose(
+            loss.value(logits, labels),
+            unmasked.value(logits[:3], labels[:3]),
+        )
+
+    def test_empty_mask_is_zero(self, rng):
+        loss = SoftmaxCrossEntropyLoss(np.zeros(4, dtype=bool))
+        logits = rng.normal(size=(4, 2))
+        assert loss.value(logits, np.zeros(4, dtype=int)) == 0.0
+
+    def test_stable_for_huge_logits(self):
+        loss = SoftmaxCrossEntropyLoss()
+        logits = np.array([[1e4, -1e4], [5e3, 5e3]])
+        value = loss.value(logits, np.array([0, 1]))
+        assert np.isfinite(value)
+
+
+class TestMSE:
+    def test_gradient_numeric(self, rng):
+        h = rng.normal(size=(5, 3))
+        t = rng.normal(size=(5, 3))
+        loss = MSELoss()
+        grad = loss.gradient(h, t)
+        eps = 1e-6
+        up = h.copy(); up[2, 1] += eps
+        down = h.copy(); down[2, 1] -= eps
+        num = (loss.value(up, t) - loss.value(down, t)) / (2 * eps)
+        assert np.isclose(grad[2, 1], num, atol=1e-6)
+
+    def test_masked(self, rng):
+        h = rng.normal(size=(6, 2))
+        t = rng.normal(size=(6, 2))
+        mask = np.array([True, False, True, False, True, False])
+        loss = MSELoss(mask)
+        assert np.isclose(loss.value(h, t), MSELoss().value(h[mask], t[mask]))
+        assert np.allclose(loss.gradient(h, t)[~mask], 0)
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        """Minimise ||W - target||^2 through the optimiser interface."""
+
+        class FakeModel:
+            def __init__(self):
+                self.w = np.array([5.0, -3.0])
+
+            def parameters(self):
+                return [{"w": self.w}]
+
+        return FakeModel()
+
+    def test_sgd_descends(self):
+        model = self._quadratic_problem()
+        opt = SGD(lr=0.1)
+        for _ in range(200):
+            opt.step(model, [{"w": 2 * model.w}])
+        assert np.allclose(model.w, 0, atol=1e-6)
+
+    def test_sgd_momentum_accelerates_early(self):
+        plain, momentum = self._quadratic_problem(), self._quadratic_problem()
+        opt_p, opt_m = SGD(lr=0.01), SGD(lr=0.01, momentum=0.9)
+        for _ in range(20):
+            opt_p.step(plain, [{"w": 2 * plain.w}])
+            opt_m.step(momentum, [{"w": 2 * momentum.w}])
+        assert np.abs(momentum.w).sum() < np.abs(plain.w).sum()
+
+    def test_sgd_momentum_converges(self):
+        model = self._quadratic_problem()
+        opt = SGD(lr=0.01, momentum=0.9)
+        for _ in range(800):
+            opt.step(model, [{"w": 2 * model.w}])
+        assert np.allclose(model.w, 0, atol=1e-4)
+
+    def test_adam_descends(self):
+        model = self._quadratic_problem()
+        opt = Adam(lr=0.3)
+        for _ in range(300):
+            opt.step(model, [{"w": 2 * model.w}])
+        assert np.allclose(model.w, 0, atol=1e-3)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SGD(lr=-1)
+        with pytest.raises(ValueError):
+            SGD(lr=0.1, momentum=1.5)
+
+
+class TestTrainer:
+    @pytest.mark.parametrize("name", ["VA", "AGNN", "GAT", "GCN"])
+    def test_models_learn_sbm(self, sbm_data, name):
+        a = (
+            normalize_adjacency(sbm_data.adjacency)
+            if name == "GCN"
+            else sbm_data.adjacency
+        )
+        model = build_model(name, 12, 16, sbm_data.num_classes,
+                            num_layers=2, seed=0)
+        trainer = Trainer(
+            model, SoftmaxCrossEntropyLoss(sbm_data.train_mask), Adam(0.01)
+        )
+        result = trainer.fit(
+            a, sbm_data.features, sbm_data.labels, epochs=40,
+            train_mask=sbm_data.train_mask,
+        )
+        test_acc = trainer.evaluate(
+            a, sbm_data.features, sbm_data.labels, sbm_data.test_mask
+        )
+        assert result.losses[-1] < result.losses[0]
+        assert test_acc > 0.8  # planted partition is easily separable
+
+    def test_early_stopping(self, sbm_data):
+        model = build_model("GCN", 12, 8, sbm_data.num_classes, num_layers=2)
+        a = normalize_adjacency(sbm_data.adjacency)
+        trainer = Trainer(
+            model, SoftmaxCrossEntropyLoss(sbm_data.train_mask), Adam(0.05)
+        )
+        result = trainer.fit(
+            a, sbm_data.features, sbm_data.labels, epochs=500,
+            val_mask=sbm_data.val_mask, patience=5,
+        )
+        assert len(result.losses) < 500
+
+
+class TestMetrics:
+    def test_accuracy_perfect_and_zero(self):
+        logits = np.array([[2.0, 0.0], [0.0, 2.0]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+        assert accuracy(logits, np.array([1, 0])) == 0.0
+
+    def test_accuracy_masked(self):
+        logits = np.array([[2.0, 0.0], [0.0, 2.0], [2.0, 0.0]])
+        labels = np.array([0, 1, 1])
+        assert accuracy(logits, labels, np.array([True, True, False])) == 1.0
+
+    def test_f1_macro_bounds(self, rng):
+        logits = rng.normal(size=(50, 4))
+        labels = rng.integers(0, 4, 50)
+        score = f1_macro(logits, labels)
+        assert 0.0 <= score <= 1.0
+
+    def test_f1_perfect(self):
+        logits = np.eye(3) * 5
+        assert f1_macro(logits, np.arange(3)) == 1.0
+
+    def test_empty_selection(self):
+        assert accuracy(np.empty((0, 2)), np.empty(0, dtype=int)) == 0.0
+
+
+class TestOptimizerExtensions:
+    def _model(self):
+        class FakeModel:
+            def __init__(self):
+                self.w = np.array([4.0, -4.0])
+
+            def parameters(self):
+                return [{"w": self.w}]
+
+        return FakeModel()
+
+    def test_weight_decay_shrinks_parameters(self):
+        model = self._model()
+        opt = SGD(lr=0.1, weight_decay=0.5)
+        for _ in range(50):
+            opt.step(model, [{"w": np.zeros(2)}])  # zero task gradient
+        assert np.abs(model.w).max() < 0.5  # pure decay pulls to zero
+
+    def test_clip_norm_bounds_step(self):
+        model = self._model()
+        before = model.w.copy()
+        opt = SGD(lr=1.0, clip_norm=1.0)
+        opt.step(model, [{"w": np.array([1e6, -1e6])}])
+        step = np.linalg.norm(model.w - before)
+        assert step == pytest.approx(1.0, rel=1e-6)
+
+    def test_clip_skips_non_finite_gradients(self):
+        model = self._model()
+        before = model.w.copy()
+        opt = SGD(lr=1.0, clip_norm=1.0)
+        opt.step(model, [{"w": np.array([np.inf, 1.0])}])
+        assert np.array_equal(model.w, before)
+
+    def test_va_training_stabilised_by_clipping(self, sbm_data):
+        """The VA model's unnormalised scores explode under plain SGD;
+        clipping keeps the run finite and learning."""
+        model = build_model("VA", 12, 16, sbm_data.num_classes,
+                            num_layers=2, seed=0)
+        trainer = Trainer(
+            model,
+            SoftmaxCrossEntropyLoss(sbm_data.train_mask),
+            Adam(0.01, clip_norm=5.0),
+        )
+        result = trainer.fit(
+            sbm_data.adjacency, sbm_data.features, sbm_data.labels,
+            epochs=30,
+        )
+        assert np.isfinite(result.losses[-1])
+        assert result.losses[-1] < result.losses[0]
+
+    def test_invalid_extension_arguments(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.1, weight_decay=-1)
+        with pytest.raises(ValueError):
+            Adam(lr=0.1, clip_norm=0)

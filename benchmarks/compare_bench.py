@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Compare kernel wall-clock against the committed baseline.
+
+Thin CLI over :mod:`repro.bench.regress`:
+
+.. code-block:: console
+
+   $ PYTHONPATH=src python benchmarks/compare_bench.py --update
+   $ PYTHONPATH=src python benchmarks/compare_bench.py
+
+Writes/reads ``benchmarks/BENCH_kernels.json`` and exits non-zero when
+any kernel is more than 20% slower than the baseline (tunable with
+``--threshold``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.regress import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,7 @@ from repro.runtime.stats import RunStats
 from repro.tensor.csr import CSRMatrix
 from repro.tensor.kernels import sddmm_dot, spmm
 from repro.tensor.segment import (
+    bincount_sum,
     expand_segments,
     segment_softmax,
     segment_sum,
@@ -260,8 +261,7 @@ def _backward_layer(
         dlog = s.data * (ds - expand_segments(inner, pattern.indptr))
         draw = dlog * leaky_relu_grad(cache["raw"], 0.2)
         du = segment_sum(draw, pattern.indptr)
-        dv = np.zeros(pattern.shape[1], dtype=draw.dtype)
-        np.add.at(dv, cols, draw)
+        dv = bincount_sum(cols, draw, pattern.shape[1])
         dhp_own = np.outer(du, params["a_src"])
         dhp_ext = spmm(s.transpose(), g, counter=counter) + np.outer(
             dv, params["a_dst"]
@@ -296,8 +296,7 @@ def _backward_layer(
         d_ext = d_ext + spmm(d_mat.transpose(), h_own, counter=counter)
         dcc = dc * cache["cos"]
         rc = segment_sum(dcc, pattern.indptr)
-        cc = np.zeros(pattern.shape[1], dtype=dcc.dtype)
-        np.add.at(cc, cols, dcc)
+        cc = bincount_sum(cols, dcc, pattern.shape[1])
         d_own -= (rc / norms_own**2)[:, None] * h_own
         d_ext -= (cc / norms_ext**2)[:, None] * h_ext
         return d_own, d_ext, {"weight": d_weight}

@@ -1,0 +1,195 @@
+"""Kernel-timing regression harness against a committed baseline.
+
+``run_suite`` times the Table-2 kernel vocabulary (best-of-N
+wall-clock, seconds) on a fixed Erdős–Rényi operand set; ``compare``
+flags kernels slower than the committed baseline by more than a
+tolerance; ``main`` is the CLI behind ``benchmarks/compare_bench.py``:
+
+.. code-block:: console
+
+   $ python benchmarks/compare_bench.py --update   # rewrite baseline
+   $ python benchmarks/compare_bench.py            # exit 1 on >20% slip
+
+The same check is wired into pytest as the opt-in ``benchcompare``
+marker (``pytest -m benchcompare tests/test_bench_regression.py``);
+it is deselected by default because wall-clock baselines are only
+meaningful on the machine that recorded them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "BASELINE_PATH",
+    "run_suite",
+    "compare",
+    "load_baseline",
+    "write_baseline",
+    "main",
+]
+
+#: Committed wall-clock baseline (see ``--update``).
+BASELINE_PATH = (
+    Path(__file__).resolve().parents[3] / "benchmarks" / "BENCH_kernels.json"
+)
+
+#: Fail threshold: a kernel this much slower than baseline is a regression.
+DEFAULT_THRESHOLD = 0.20
+
+
+#: Minimum wall-clock per timed batch; sub-millisecond kernels are
+#: looped until a batch takes this long, keeping timer noise ≪ the
+#: regression threshold.
+_MIN_BATCH_S = 5e-3
+
+
+def _best_time(fn, repeats: int) -> float:
+    t0 = time.perf_counter()
+    fn()
+    once = time.perf_counter() - t0
+    iters = max(1, int(_MIN_BATCH_S / max(once, 1e-9)))
+    best = once
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / iters)
+    return best
+
+
+def run_suite(
+    n: int = 2048, deg: int = 16, k: int = 32, repeats: int = 5
+) -> dict[str, float]:
+    """Best-of-``repeats`` seconds for each kernel, keyed by name."""
+    from repro.bench.harness import make_graph
+    from repro.tensor.kernels import (
+        masked_row_softmax,
+        sddmm_add,
+        sddmm_cosine,
+        sddmm_dot,
+        spmm,
+    )
+
+    rng = np.random.default_rng(0)
+    a = make_graph("uniform", n, deg * n, seed=0)
+    h = rng.normal(size=(n, k)).astype(np.float32)
+    u = rng.normal(size=n).astype(np.float32)
+    scores = a.with_data(rng.normal(size=a.nnz).astype(np.float32))
+
+    cases = {
+        "spmm_scipy": lambda: spmm(a, h, backend="scipy"),
+        "spmm_reference": lambda: spmm(a, h, backend="reference"),
+        "sddmm_dot": lambda: sddmm_dot(a, h, h),
+        "sddmm_add": lambda: sddmm_add(a, u, u),
+        "sddmm_cosine": lambda: sddmm_cosine(a, h),
+        "masked_row_softmax": lambda: masked_row_softmax(scores),
+        "transpose_warm": lambda: a.transpose(),
+        "col_sum": lambda: a.col_sum(),
+    }
+    results: dict[str, float] = {}
+    for name, fn in cases.items():
+        fn()  # warm structure caches and workspaces
+        results[name] = _best_time(fn, repeats)
+    return results
+
+
+def compare(
+    current: dict[str, float],
+    baseline: dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[tuple[str, float, float]]:
+    """Kernels regressed past ``threshold``: ``(name, base_s, cur_s)``.
+
+    Kernels present on only one side are skipped — adding a kernel to
+    the suite must not fail until the baseline is regenerated.
+    """
+    regressions = []
+    for name, base_s in baseline.items():
+        cur_s = current.get(name)
+        if cur_s is None:
+            continue
+        if cur_s > base_s * (1.0 + threshold):
+            regressions.append((name, base_s, cur_s))
+    return regressions
+
+
+def load_baseline(path: Path = BASELINE_PATH) -> dict[str, float]:
+    with open(path) as fh:
+        return json.load(fh)["results"]
+
+
+def write_baseline(
+    results: dict[str, float], path: Path = BASELINE_PATH
+) -> None:
+    payload = {
+        "meta": {
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "results": {k: round(v, 6) for k, v in results.items()},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare kernel timings against the committed baseline."
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=BASELINE_PATH,
+        help="baseline JSON path (default: benchmarks/BENCH_kernels.json)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="relative slowdown that counts as a regression",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="best-of-N timing repeats"
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from this run instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    current = run_suite(repeats=args.repeats)
+    width = max(len(name) for name in current)
+    if args.update:
+        write_baseline(current, args.baseline)
+        for name, cur_s in sorted(current.items()):
+            print(f"{name:<{width}}  {cur_s * 1e3:8.3f} ms")
+        print(f"baseline written to {args.baseline}")
+        return 0
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except FileNotFoundError:
+        print(
+            f"no baseline at {args.baseline}; record one with --update"
+        )
+        return 1
+    regressions = compare(current, baseline, args.threshold)
+    flagged = {name for name, _, _ in regressions}
+    for name, cur_s in sorted(current.items()):
+        base_s = baseline.get(name)
+        note = ""
+        if base_s is not None:
+            note = f"  baseline {base_s * 1e3:8.3f} ms"
+            note += "  REGRESSION" if name in flagged else ""
+        print(f"{name:<{width}}  {cur_s * 1e3:8.3f} ms{note}")
+    if regressions:
+        print(
+            f"{len(regressions)} kernel(s) regressed more than "
+            f"{args.threshold:.0%} vs {args.baseline}"
+        )
+        return 1
+    print(f"no regressions beyond {args.threshold:.0%} vs {args.baseline}")
+    return 0

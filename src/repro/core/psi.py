@@ -32,7 +32,7 @@ from repro.tensor.kernels import (
     sddmm_dot,
     spmm,
 )
-from repro.tensor.segment import segment_softmax, segment_sum
+from repro.tensor.segment import bincount_sum, segment_softmax, segment_sum
 from repro.util.counters import FlopCounter, null_counter
 
 __all__ = [
@@ -103,6 +103,7 @@ class PsiAGNNCache:
     h: np.ndarray
     cos_values: np.ndarray
     norms: np.ndarray
+    denom: np.ndarray
     softmax_values: np.ndarray
     beta: float
     eps: float
@@ -123,13 +124,15 @@ def psi_agnn(
     fixes it (:math:`\\partial\\Psi/\\partial W = 0`), but it may be
     trained via the ``dbeta`` output of the VJP.
     """
-    cos, norms = sddmm_cosine(a, h, eps=eps, counter=counter)
-    soft = segment_softmax(beta * cos, a.indptr)
+    cos, norms, denom = sddmm_cosine(
+        a, h, eps=eps, counter=counter, with_denom=True
+    )
+    soft = segment_softmax(beta * cos, a.indptr, rows=a.expand_rows())
     counter.add(5 * a.nnz, "softmax")
     s = a.with_data(soft)
     cache = PsiAGNNCache(
-        a=a, h=h, cos_values=cos, norms=norms, softmax_values=soft,
-        beta=beta, eps=eps,
+        a=a, h=h, cos_values=cos, norms=norms, denom=denom,
+        softmax_values=soft, beta=beta, eps=eps,
     )
     return s, cache
 
@@ -159,11 +162,10 @@ def psi_agnn_vjp(
     dc = cache.beta * dt
 
     norms = np.maximum(cache.norms, cache.eps)
-    rows = a.expand_rows()
-    cols = a.indices
-    inv_pair = 1.0 / (norms[rows] * norms[cols])
-
-    d_mat = a.with_data(dc * inv_pair)
+    # The forward pass already gathered and clipped the per-edge norm
+    # products (sddmm_cosine with_denom=True); divide by that exact
+    # quantity instead of re-gathering both norm endpoints.
+    d_mat = a.with_data(dc / cache.denom)
     dh = spmm(d_mat, h, counter=counter)
     dh += spmm(d_mat.transpose(), h, counter=counter)
 
@@ -171,8 +173,7 @@ def psi_agnn_vjp(
     #                       - colsum(dc ⊙ c)/n_j^2 * h_j  (column role)
     dcc = dc * cache.cos_values
     row_corr = segment_sum(dcc, a.indptr)
-    col_corr = np.zeros(a.shape[1], dtype=dcc.dtype)
-    np.add.at(col_corr, cols, dcc)
+    col_corr = bincount_sum(a.indices, dcc, a.shape[1])
     inv_sq = 1.0 / (norms * norms)
     dh -= ((row_corr + col_corr) * inv_sq)[:, None] * h
     counter.add(6 * a.nnz + 4 * h.size, "agnn_vjp")
@@ -244,8 +245,7 @@ def psi_gat_vjp(
     )
     draw = dlogits * leaky_relu_grad(cache.raw_values, cache.slope)
     du = segment_sum(draw, a.indptr)
-    dv = np.zeros(a.shape[1], dtype=draw.dtype)
-    np.add.at(dv, a.indices, draw)
+    dv = bincount_sum(a.indices, draw, a.shape[1])
     counter.add(3 * a.nnz, "gat_vjp")
 
     # u = hp @ a_src, v = hp @ a_dst — rank-1 feature gradients.

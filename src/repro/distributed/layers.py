@@ -50,7 +50,7 @@ from repro.models.base import glorot
 from repro.runtime.grid import ProcessGrid
 from repro.tensor.csr import CSRMatrix
 from repro.tensor.kernels import mm, sddmm_add, sddmm_dot, spmm
-from repro.tensor.segment import segment_sum
+from repro.tensor.segment import bincount_sum, segment_sum
 from repro.util.counters import FlopCounter, null_counter
 from repro.util.rng import make_rng
 
@@ -209,6 +209,7 @@ class _DistAGNNCache:
     cos_values: np.ndarray
     norms_row: np.ndarray
     norms_col: np.ndarray
+    denom: np.ndarray
     z_block: np.ndarray
 
 
@@ -264,7 +265,7 @@ class DistAGNNLayer(DistGnnLayer):
         return h_next, _DistAGNNCache(
             a_block=a_block, h_block=h_block, h_row=h_row, s_block=s_block,
             hp=hp, cos_values=cos, norms_row=norms_row, norms_col=norms_col,
-            z_block=z_block,
+            denom=denom, z_block=z_block,
         )
 
     def backward(self, grid, cache, g_block, sequencer,
@@ -292,9 +293,8 @@ class DistAGNNLayer(DistGnnLayer):
         dc = float(self.beta) * dt
         norms_row = np.maximum(cache.norms_row, self.eps)
         norms_col = np.maximum(cache.norms_col, self.eps)
-        rows = a_block.expand_rows()
-        cols = a_block.indices
-        d_mat = a_block.with_data(dc / (norms_row[rows] * norms_col[cols]))
+        # Forward already gathered/clipped the per-edge norm products.
+        d_mat = a_block.with_data(dc / cache.denom)
 
         row_partial = spmm(d_mat, cache.h_block, counter=counter)
         row_term = grid.row_comm.allreduce(row_partial)
@@ -305,9 +305,9 @@ class DistAGNNLayer(DistGnnLayer):
         # Diagonal corrections of the cosine Jacobian.
         dcc = dc * cache.cos_values
         rc = grid.row_comm.allreduce(segment_sum(dcc, a_block.indptr))
-        cc_local = np.zeros(a_block.shape[1], dtype=dcc.dtype)
-        np.add.at(cc_local, cols, dcc)
-        cc = grid.col_comm.allreduce(cc_local)
+        cc = grid.col_comm.allreduce(
+            bincount_sum(a_block.indices, dcc, a_block.shape[1])
+        )
         row_term = row_term - (rc / (norms_row**2))[:, None] * cache.h_row
         col_term = col_term - (cc / (norms_col**2))[:, None] * cache.h_block
         counter.add(8 * a_block.nnz, "agnn_vjp")
@@ -400,9 +400,9 @@ class DistGATLayer(DistGnnLayer):
         )
         draw = dlogits * leaky_relu_grad(cache.raw_values, self.slope)
         du = grid.row_comm.allreduce(segment_sum(draw, a_block.indptr))
-        dv_local = np.zeros(a_block.shape[1], dtype=draw.dtype)
-        np.add.at(dv_local, a_block.indices, draw)
-        dv = grid.col_comm.allreduce(dv_local)
+        dv = grid.col_comm.allreduce(
+            bincount_sum(a_block.indices, draw, a_block.shape[1])
+        )
         counter.add(4 * a_block.nnz, "gat_vjp")
 
         # Attention-vector gradients: contribute each complete block

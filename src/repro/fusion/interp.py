@@ -33,6 +33,7 @@ from repro.fusion.fuse import FusedProgram, fuse
 from repro.fusion.sparsity import Sparsity
 from repro.tensor.csr import CSRMatrix
 from repro.tensor.segment import segment_sum
+from repro.tensor.workspace import workspace
 
 __all__ = ["execute"]
 
@@ -262,7 +263,19 @@ class _Engine:
             if op == "matmul":
                 a = self.value(node.inputs[0])
                 b = self.value(node.inputs[1])
-                return np.einsum("ij,ij->i", a[rows], b[:, cols].T)
+                # Gather both operands into pooled scratch (row slices of
+                # ``a``, column slices of ``b``) instead of fancy-indexed
+                # temporaries; the per-edge dot products are returned
+                # fresh because they escape into the caller's DAG values.
+                ga = workspace(
+                    "interp.matmul.a", (rows.shape[0], a.shape[1]), a.dtype
+                )
+                np.take(a, rows, axis=0, out=ga, mode="clip")
+                gb = workspace(
+                    "interp.matmul.b", (b.shape[0], cols.shape[0]), b.dtype
+                )
+                np.take(b, cols, axis=1, out=gb, mode="clip")
+                return np.einsum("ij,ji->i", ga, gb)
             if op == "transpose":
                 return self._operand_at(node.inputs[0], cols, rows)
             if op == "replicate":

@@ -25,6 +25,7 @@ from repro.core.psi import psi_va, psi_va_vjp
 from repro.models.base import GnnLayer, GnnModel, glorot
 from repro.tensor.csr import CSRMatrix
 from repro.tensor.kernels import mm, sddmm_dot, spmm
+from repro.tensor.workspace import workspace
 from repro.util.counters import FlopCounter, null_counter
 from repro.util.rng import make_rng
 
@@ -112,12 +113,24 @@ class VALayer(GnnLayer):
             st_g = spmm(s_t, g, counter=counter)
             d_weight = mm(cache.h.T, st_g, counter=counter)
             dh = mm(st_g, self.weight.T, counter=counter)
-            ds = sddmm_dot(cache.a, g, cache.hp, counter=counter)
+            # ds is consumed synchronously by the psi VJP below, so a
+            # pooled scratch vector is safe to hand out as ``out=``.
+            ds = sddmm_dot(
+                cache.a, g, cache.hp, counter=counter,
+                out=workspace(
+                    "model.ds", (cache.a.nnz,), np.result_type(g, cache.hp)
+                ),
+            )
         else:
             d_weight = mm(cache.ah.T, g, counter=counter)
             m = mm(g, self.weight.T, counter=counter)
             dh = spmm(s_t, m, counter=counter)
-            ds = sddmm_dot(cache.a, m, cache.h, counter=counter)
+            ds = sddmm_dot(
+                cache.a, m, cache.h, counter=counter,
+                out=workspace(
+                    "model.ds", (cache.a.nnz,), np.result_type(m, cache.h)
+                ),
+            )
         dh = dh + psi_va_vjp(ds, cache.psi_cache, counter=counter)
         return dh, {"weight": d_weight}
 

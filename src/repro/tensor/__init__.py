@@ -35,11 +35,19 @@ from repro.tensor.kernels import (
     spmmm,
 )
 from repro.tensor.segment import (
+    bincount_sum,
     segment_max,
     segment_mean,
     segment_min,
     segment_softmax,
     segment_sum,
+)
+from repro.tensor.structure import PatternStructure, lookup_structure
+from repro.tensor.workspace import (
+    clear_workspaces,
+    set_workspace_reuse,
+    workspace,
+    workspace_reuse_enabled,
 )
 
 __all__ = [
@@ -62,4 +70,11 @@ __all__ = [
     "segment_min",
     "segment_mean",
     "segment_softmax",
+    "bincount_sum",
+    "PatternStructure",
+    "lookup_structure",
+    "workspace",
+    "set_workspace_reuse",
+    "workspace_reuse_enabled",
+    "clear_workspaces",
 ]

@@ -7,11 +7,26 @@ stored in CSR. The format is three NumPy arrays — ``indptr``,
 ``indices``, ``data`` — exactly as in scipy, but implemented from
 scratch so that semiring products and fused attention kernels can work
 directly on the raw arrays.
+
+Every matrix carries a :class:`~repro.tensor.structure.PatternStructure`
+interned on the identity of its ``(indptr, indices)`` arrays: matrices
+derived via :meth:`CSRMatrix.with_data` / :meth:`CSRMatrix.astype` /
+:meth:`CSRMatrix.scale_rows` share the structure object, so
+``expand_rows``, ``transpose_permutation``, the transposed pattern and
+the scipy view are computed at most once per sparsity pattern per
+process. The index arrays are frozen (read-only) on construction —
+``data`` remains writable.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.tensor.structure import (
+    PatternStructure,
+    intern_structure,
+    lookup_structure,
+)
 
 __all__ = ["CSRMatrix"]
 
@@ -23,16 +38,18 @@ class CSRMatrix:
     ----------
     indptr:
         ``int64`` array of length ``n_rows + 1``; row ``i`` owns entries
-        ``indptr[i]:indptr[i+1]``.
+        ``indptr[i]:indptr[i+1]``. Frozen (made read-only) on
+        construction.
     indices:
-        Column index of each stored entry, row-major sorted.
+        Column index of each stored entry, row-major sorted. Frozen on
+        construction.
     data:
-        Value of each stored entry.
+        Value of each stored entry (stays writable).
     shape:
         ``(n_rows, n_cols)``.
     """
 
-    __slots__ = ("indptr", "indices", "data", "shape")
+    __slots__ = ("indptr", "indices", "data", "shape", "_structure")
 
     def __init__(
         self,
@@ -44,20 +61,49 @@ class CSRMatrix:
         indptr = np.asarray(indptr, dtype=np.int64)
         indices = np.asarray(indices, dtype=np.int64)
         data = np.asarray(data)
-        if indptr.ndim != 1 or indptr.shape[0] != shape[0] + 1:
-            raise ValueError("indptr must have length n_rows + 1")
-        if indptr[0] != 0 or indptr[-1] != indices.shape[0]:
-            raise ValueError("indptr endpoints inconsistent with indices")
-        if np.any(np.diff(indptr) < 0):
-            raise ValueError("indptr must be non-decreasing")
+        shape = (int(shape[0]), int(shape[1]))
         if indices.shape != data.shape:
             raise ValueError("indices and data must have the same length")
-        if indices.size and (indices.min() < 0 or indices.max() >= shape[1]):
-            raise ValueError("column index out of range")
-        self.indptr = indptr
-        self.indices = indices
+        # An interned structure means these exact arrays already passed
+        # validation for this shape (and cannot have been mutated since:
+        # they are frozen), so the O(n + nnz) checks are skipped.
+        structure = lookup_structure(indptr, indices, shape)
+        if structure is None:
+            if indptr.ndim != 1 or indptr.shape[0] != shape[0] + 1:
+                raise ValueError("indptr must have length n_rows + 1")
+            if indptr[0] != 0 or indptr[-1] != indices.shape[0]:
+                raise ValueError("indptr endpoints inconsistent with indices")
+            if np.any(np.diff(indptr) < 0):
+                raise ValueError("indptr must be non-decreasing")
+            if indices.size and (
+                indices.min() < 0 or indices.max() >= shape[1]
+            ):
+                raise ValueError("column index out of range")
+            structure = intern_structure(indptr, indices, shape)
+        self.indptr = structure.indptr
+        self.indices = structure.indices
         self.data = data
-        self.shape = (int(shape[0]), int(shape[1]))
+        self.shape = shape
+        self._structure = structure
+
+    @classmethod
+    def _from_structure(
+        cls, structure: PatternStructure, data: np.ndarray
+    ) -> "CSRMatrix":
+        """Construct over an already-interned structure (no validation)."""
+        data = np.asarray(data)
+        if data.shape != structure.indices.shape:
+            raise ValueError(
+                f"data length {data.shape} does not match pattern nnz "
+                f"{structure.indices.shape}"
+            )
+        obj = cls.__new__(cls)
+        obj.indptr = structure.indptr
+        obj.indices = structure.indices
+        obj.data = data
+        obj.shape = structure.shape
+        obj._structure = structure
+        return obj
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -71,22 +117,28 @@ class CSRMatrix:
     def dtype(self) -> np.dtype:
         return self.data.dtype
 
+    @property
+    def structure(self) -> PatternStructure:
+        """The interned structure cache shared by all same-pattern matrices."""
+        return self._structure
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, dtype={self.dtype})"
 
     def row_lengths(self) -> np.ndarray:
-        """Stored entries per row (the out-degree for adjacency input)."""
-        return np.diff(self.indptr)
+        """Stored entries per row (the out-degree for adjacency input).
+
+        Cached per pattern; the returned array is read-only.
+        """
+        return self._structure.row_lengths()
 
     def expand_rows(self) -> np.ndarray:
         """Row index of every stored entry (COO row vector).
 
-        Vectorised: ``repeat(arange(n_rows), row_lengths)``. This is the
-        workhorse of every edge-wise (SDDMM-like) kernel.
+        The workhorse of every edge-wise (SDDMM-like) kernel. Cached
+        per pattern; the returned array is read-only.
         """
-        return np.repeat(
-            np.arange(self.shape[0], dtype=np.int64), self.row_lengths()
-        )
+        return self._structure.expand_rows()
 
     # ------------------------------------------------------------------
     # Same-pattern value algebra
@@ -97,16 +149,10 @@ class CSRMatrix:
         Attention matrices :math:`\\Psi` always share the adjacency
         pattern (Section 6.2: "the output almost always has the same
         sparsity pattern as the adjacency matrix"), so this is the main
-        constructor on the attention path. ``indptr``/``indices`` are
-        shared, not copied.
+        constructor on the attention path. ``indptr``/``indices`` — and
+        the structure cache — are shared, not copied.
         """
-        data = np.asarray(data)
-        if data.shape != self.data.shape:
-            raise ValueError(
-                f"data length {data.shape} does not match pattern nnz "
-                f"{self.data.shape}"
-            )
-        return CSRMatrix(self.indptr, self.indices, data, self.shape)
+        return CSRMatrix._from_structure(self._structure, data)
 
     def scale_rows(self, row_factors: np.ndarray) -> "CSRMatrix":
         """Multiply each row by a scalar: ``diag(f) @ X`` (same pattern)."""
@@ -129,24 +175,30 @@ class CSRMatrix:
         return segment_sum(self.data, self.indptr)
 
     def col_sum(self) -> np.ndarray:
-        """Per-column sum of stored values — ``sum^T(X) = 1^T X``."""
-        out = np.zeros(self.shape[1], dtype=self.data.dtype)
-        np.add.at(out, self.indices, self.data)
-        return out
+        """Per-column sum of stored values — ``sum^T(X) = 1^T X``.
+
+        Uses ``np.bincount`` (a single C pass) rather than the much
+        slower ``np.add.at`` scatter; accumulation happens in float64
+        and the result is cast back to the value dtype.
+        """
+        from repro.tensor.segment import bincount_sum
+
+        return bincount_sum(self.indices, self.data, self.shape[1])
 
     # ------------------------------------------------------------------
     # Structural transforms
     # ------------------------------------------------------------------
     def transpose(self) -> "CSRMatrix":
-        """Return the transpose as a new CSR matrix (O(nnz) counting sort)."""
-        n_rows, n_cols = self.shape
-        indptr_t = np.zeros(n_cols + 1, dtype=np.int64)
-        np.add.at(indptr_t, self.indices + 1, 1)
-        np.cumsum(indptr_t, out=indptr_t)
-        perm = self.transpose_permutation()
-        indices_t = self.expand_rows()[perm]
-        data_t = self.data[perm]
-        return CSRMatrix(indptr_t, indices_t, data_t, (n_cols, n_rows))
+        """Return the transpose as a new CSR matrix.
+
+        The transposed pattern and the entry permutation are cached per
+        structure (O(nnz) counting sort on first use, then free), so
+        repeated backward-pass transposes only pay the O(nnz) value
+        permutation.
+        """
+        structure_t = self._structure.transpose()
+        perm = self._structure.transpose_permutation()
+        return CSRMatrix._from_structure(structure_t, self.data[perm])
 
     def transpose_permutation(self) -> np.ndarray:
         """Permutation ``p`` such that entry ``i`` of ``X^T`` (row-major
@@ -154,10 +206,9 @@ class CSRMatrix:
 
         Backward passes repeatedly need values of :math:`\\Psi^T`; with
         this permutation they are a single fancy-index away instead of a
-        full re-transposition.
+        full re-transposition. Cached per pattern (read-only).
         """
-        key = self.indices * np.int64(self.shape[0]) + self.expand_rows()
-        return np.argsort(key, kind="stable")
+        return self._structure.transpose_permutation()
 
     def extract_block(
         self, r0: int, r1: int, c0: int, c1: int
@@ -200,15 +251,20 @@ class CSRMatrix:
         if vertices.size and np.any(np.diff(vertices) <= 0):
             raise ValueError("vertices must be strictly increasing")
         nv = vertices.shape[0]
-        # Gather the selected rows' entries.
+        # Gather the selected rows' entries: a vectorised ragged-range
+        # construction — entry j of segment i maps to starts[i] + j,
+        # built as repeat(starts - exclusive_cumsum(lengths)) + arange.
         starts = self.indptr[vertices]
         stops = self.indptr[vertices + 1] if nv else starts
         lengths = stops - starts
-        gather = (
-            np.concatenate([np.arange(s, t) for s, t in zip(starts, stops)])
-            if nv and lengths.sum()
-            else np.empty(0, dtype=np.int64)
-        )
+        total = int(lengths.sum()) if nv else 0
+        if total:
+            offsets = np.zeros(nv, dtype=np.int64)
+            np.cumsum(lengths[:-1], out=offsets[1:])
+            gather = np.repeat(starts - offsets, lengths)
+            gather += np.arange(total, dtype=np.int64)
+        else:
+            gather = np.empty(0, dtype=np.int64)
         cols = self.indices[gather]
         data = self.data[gather]
         row_of_entry = np.repeat(np.arange(nv, dtype=np.int64), lengths)
@@ -220,8 +276,7 @@ class CSRMatrix:
         new_rows = row_of_entry[keep]
         new_cols = pos_clipped[keep]
         indptr = np.zeros(nv + 1, dtype=np.int64)
-        np.add.at(indptr, new_rows + 1, 1)
-        np.cumsum(indptr, out=indptr)
+        np.cumsum(np.bincount(new_rows, minlength=nv), out=indptr[1:])
         return CSRMatrix(indptr, new_cols, data[keep], (nv, nv))
 
     # ------------------------------------------------------------------
@@ -253,7 +308,7 @@ class CSRMatrix:
         from repro.tensor.coo import COOMatrix
 
         out = COOMatrix(
-            self.expand_rows(),
+            self.expand_rows().copy(),
             self.indices.copy(),
             self.data.copy(),
             shape=self.shape,
@@ -269,22 +324,24 @@ class CSRMatrix:
         return out
 
     def to_scipy(self):
-        """View as ``scipy.sparse.csr_matrix`` (shares buffers)."""
-        import scipy.sparse as sp
+        """View as ``scipy.sparse.csr_matrix`` (shares buffers).
 
-        return sp.csr_matrix(
-            (self.data, self.indices, self.indptr), shape=self.shape
-        )
+        The scipy wrapper (including its int32 index downcast) is built
+        once per pattern and shallow-cloned per call.
+        """
+        return self._structure.scipy_view(self.data)
 
     @classmethod
     def from_scipy(cls, mat) -> "CSRMatrix":
         """Build from any scipy sparse matrix."""
         mat = mat.tocsr()
-        mat.sort_indices()
+        if not mat.has_sorted_indices:
+            mat = mat.copy()
+            mat.sort_indices()
         return cls(
             mat.indptr.astype(np.int64),
             mat.indices.astype(np.int64),
-            mat.data,
+            np.array(mat.data),
             mat.shape,
         )
 
@@ -299,6 +356,12 @@ class CSRMatrix:
         return self.with_data(self.data.astype(dtype))
 
     def copy(self) -> "CSRMatrix":
+        """An independent copy: fresh data *and* fresh index arrays.
+
+        The copy deliberately does not share this matrix's structure
+        cache (its index arrays are new objects), which also makes it
+        the way to obtain a cache-cold matrix in tests.
+        """
         return CSRMatrix(
             self.indptr.copy(), self.indices.copy(), self.data.copy(), self.shape
         )

@@ -8,6 +8,10 @@ reductions*: a reduction of ``values[indptr[i]:indptr[i+1]]`` per row
 an empty segment does not produce the identity element but copies the
 next value. Every helper here repairs empty segments explicitly, so
 isolated vertices are handled correctly throughout the library.
+
+The scatter-style counterpart — summing per-entry values into their
+*column* — is :func:`bincount_sum`, a single C pass via
+``np.bincount`` replacing the notoriously slow ``np.add.at``.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ __all__ = [
     "segment_mean",
     "segment_softmax",
     "expand_segments",
+    "bincount_sum",
 ]
 
 
@@ -80,18 +85,52 @@ def segment_mean(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
     return total / safe
 
 
-def expand_segments(per_segment: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+def bincount_sum(
+    indices: np.ndarray, weights: np.ndarray, minlength: int
+) -> np.ndarray:
+    """Scatter-add ``weights`` into bins: ``out[indices[e]] += weights[e]``.
+
+    A dtype-preserving wrapper around ``np.bincount``: accumulation
+    happens in float64 (bincount's native precision) and the result is
+    cast back to ``weights``' dtype. Replaces ``np.add.at``, which
+    dispatches per element, on all column-scatter paths (``col_sum``,
+    GAT/AGNN column gradients).
+    """
+    weights = np.asarray(weights)
+    out = np.bincount(
+        np.asarray(indices), weights=weights, minlength=minlength
+    )
+    return out.astype(weights.dtype, copy=False)
+
+
+def expand_segments(
+    per_segment: np.ndarray,
+    indptr: np.ndarray,
+    rows: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Replicate one value per segment back to per-entry length.
 
     This is the replication step ``rep_n(x) = x 1^T`` of Table 2,
     restricted to the sparsity pattern — the virtual n×n replication is
     never materialised (Section 6.1), only its sampled entries.
+
+    When ``rows`` (the cached COO row vector of the pattern) is given,
+    the replication is a single ``np.take`` — no ``repeat`` of the
+    segment lengths — and may write into ``out``.
     """
+    if rows is not None:
+        return np.take(per_segment, rows, axis=0, out=out, mode="clip")
     lengths = np.diff(indptr)
     return np.repeat(per_segment, lengths, axis=0)
 
 
-def segment_softmax(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+def segment_softmax(
+    values: np.ndarray,
+    indptr: np.ndarray,
+    rows: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Numerically-stable softmax within each segment.
 
     Implements the global graph-softmax formulation of Section 4.2,
@@ -103,14 +142,38 @@ def segment_softmax(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
     multiplication by a column of ones (step 2), replication (step 3)
     and element-wise division (step 4). A per-segment max-shift is
     applied first for stability, which leaves the softmax unchanged.
+
+    ``rows`` (the pattern's cached COO row vector) routes both
+    replications through pooled gather buffers; ``out`` receives the
+    result in place. Without them the allocation behaviour is the
+    classic one.
     """
     values = np.asarray(values)
     indptr = np.asarray(indptr)
     if values.shape[0] == 0:
-        return values.copy()
+        return values.copy() if out is None else out
     shift = segment_max(values, indptr, identity=0.0)
+    res_dtype = (
+        values.dtype
+        if np.issubdtype(values.dtype, np.inexact)
+        else np.dtype(np.float64)
+    )
+    result = out if out is not None else np.empty(values.shape, dtype=res_dtype)
+    if rows is not None:
+        from repro.tensor.workspace import workspace
+
+        rep = workspace("segment_softmax.rep", values.shape, res_dtype)
+        np.take(shift, rows, out=rep, mode="clip")
+        np.subtract(values, rep, out=result)
+        np.exp(result, out=result)
+        denom = segment_sum(result, indptr)
+        denom = np.where(denom == 0, 1, denom)
+        np.take(denom, rows, out=rep, mode="clip")
+        np.divide(result, rep, out=result)
+        return result
     exp = np.exp(values - expand_segments(shift, indptr))
     denom = segment_sum(exp, indptr)
     # Rows with no entries never index into denom; guard regardless.
     denom = np.where(denom == 0, 1, denom)
-    return exp / expand_segments(denom, indptr)
+    np.divide(exp, expand_segments(denom, indptr), out=result)
+    return result

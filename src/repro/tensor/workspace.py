@@ -1,0 +1,91 @@
+"""Reusable scratch buffers for the kernel hot path.
+
+Steady-state training repeats the same kernel shapes every iteration;
+the gathers inside :func:`~repro.tensor.kernels.sddmm_dot`,
+:func:`~repro.tensor.kernels._spmm_reference` and the graph softmax
+would otherwise allocate O(nnz·k) temporaries per call. This module
+keeps one growing buffer per ``(tag, dtype)`` pair and hands out
+shaped views of it.
+
+Rules of use:
+
+* Workspaces are for *internal* temporaries that do not escape the
+  call (or for explicit ``out=`` arguments the caller owns). Kernel
+  return values are always freshly allocated unless the caller passes
+  ``out=``.
+* Pools are thread-local: the SPMD simulator runs ranks on threads and
+  each gets its own buffers.
+* :func:`set_workspace_reuse` turns pooling off globally (every
+  request then returns a fresh array), :func:`clear_workspaces`
+  releases the current thread's buffers.
+
+Buffer hits/allocations are reported to
+:func:`repro.util.counters.event_counter` as ``workspace.hit`` /
+``workspace.alloc``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import numpy as np
+
+from repro.util.counters import event_counter
+
+__all__ = [
+    "workspace",
+    "set_workspace_reuse",
+    "workspace_reuse_enabled",
+    "clear_workspaces",
+]
+
+_ENABLED = True
+
+
+class _Pool(threading.local):
+    def __init__(self) -> None:
+        self.buffers: dict[tuple[str, np.dtype], np.ndarray] = {}
+
+
+_POOL = _Pool()
+
+
+def set_workspace_reuse(enabled: bool) -> None:
+    """Globally enable/disable scratch-buffer pooling."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+def workspace_reuse_enabled() -> bool:
+    """Whether scratch buffers are currently pooled."""
+    return _ENABLED
+
+
+def clear_workspaces() -> None:
+    """Release the calling thread's pooled buffers."""
+    _POOL.buffers.clear()
+
+
+def workspace(tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+    """An uninitialised scratch array of ``shape``/``dtype``.
+
+    Served from the calling thread's pool, keyed by ``(tag, dtype)``;
+    the backing buffer grows geometrically and is sliced to size.
+    Distinct tags never alias, so two live workspaces are safe as long
+    as their tags differ. Contents are undefined.
+    """
+    dtype = np.dtype(dtype)
+    size = math.prod(shape)
+    if not _ENABLED:
+        return np.empty(shape, dtype=dtype)
+    key = (tag, dtype)
+    buf = _POOL.buffers.get(key)
+    if buf is None or buf.shape[0] < size:
+        capacity = size if buf is None else max(size, 2 * buf.shape[0])
+        buf = np.empty(capacity, dtype=dtype)
+        _POOL.buffers[key] = buf
+        event_counter().bump("workspace.alloc")
+    else:
+        event_counter().bump("workspace.hit")
+    return buf[:size].reshape(shape)

@@ -1,0 +1,40 @@
+"""Opt-in wall-clock regression gate (``-m benchcompare``).
+
+Deselected by default (see ``addopts`` in ``pyproject.toml``): timing
+baselines are machine-specific, so the gate only means something on
+the machine that recorded ``benchmarks/BENCH_kernels.json``. Run with
+
+.. code-block:: console
+
+   $ PYTHONPATH=src python -m pytest -m benchcompare tests/test_bench_regression.py
+
+and regenerate the baseline with
+``python benchmarks/compare_bench.py --update``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.regress import (
+    BASELINE_PATH,
+    compare,
+    load_baseline,
+    run_suite,
+)
+
+pytestmark = pytest.mark.benchcompare
+
+
+def test_kernels_within_threshold_of_baseline():
+    assert BASELINE_PATH.exists(), (
+        f"no committed baseline at {BASELINE_PATH}; run "
+        "`python benchmarks/compare_bench.py --update`"
+    )
+    baseline = load_baseline()
+    current = run_suite()
+    regressions = compare(current, baseline)
+    assert not regressions, "kernel regressions vs baseline: " + ", ".join(
+        f"{name} {base * 1e3:.3f}ms -> {cur * 1e3:.3f}ms"
+        for name, base, cur in regressions
+    )

@@ -1,0 +1,227 @@
+"""Property tests for the pattern-interned structure cache.
+
+Two families of guarantees:
+
+* **Bit identity** — a matrix carrying warm structural caches produces
+  bit-identical results to a cold one (fresh index arrays, empty
+  caches) for every same-pattern operation and structural transform.
+* **Immutability** — structure arrays and cached structural quantities
+  are read-only, and mutating the (writable) ``data`` vector can never
+  invalidate them.
+
+Plus the amortization guarantee of the perf PR: in a multi-layer GAT
+training run, ``expand_rows`` and the transpose permutation are
+computed at most once per pattern per process.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import erdos_renyi, synthetic_classification
+from repro.graphs.prep import prepare_adjacency
+from repro.models.gat import gat_model
+from repro.tensor.csr import CSRMatrix
+from repro.tensor.structure import lookup_structure
+from repro.util.counters import event_counter
+
+from tests.conftest import random_csr
+
+
+def cold_copy(m: CSRMatrix) -> CSRMatrix:
+    """Rebuild ``m`` from fresh arrays: new structure, empty caches."""
+    return CSRMatrix(
+        m.indptr.copy(), m.indices.copy(), m.data.copy(), m.shape
+    )
+
+
+def assert_same_matrix(a: CSRMatrix, b: CSRMatrix) -> None:
+    assert a.shape == b.shape
+    assert np.array_equal(a.indptr, b.indptr)
+    assert np.array_equal(a.indices, b.indices)
+    assert a.data.dtype == b.data.dtype
+    assert np.array_equal(a.data, b.data)
+
+
+class TestWarmColdBitIdentity:
+    """Warm structural caches never change any result, bit for bit."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        m=st.integers(min_value=1, max_value=12),
+        density=st.floats(min_value=0.0, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_operations_match_cold(self, n, m, density, seed):
+        rng = np.random.default_rng(seed)
+        warm = random_csr(rng, n, m, density=density, ensure_empty_row=True)
+        # Warm up every structural cache before comparing.
+        warm.expand_rows()
+        warm.row_lengths()
+        warm.transpose_permutation()
+        cold = cold_copy(warm)
+        assert cold.structure is not warm.structure
+
+        assert np.array_equal(warm.expand_rows(), cold.expand_rows())
+        assert np.array_equal(warm.row_lengths(), cold.row_lengths())
+        assert np.array_equal(
+            warm.transpose_permutation(), cold.transpose_permutation()
+        )
+        assert_same_matrix(warm.transpose(), cold.transpose())
+        assert_same_matrix(
+            warm.transpose().transpose(), cold.transpose().transpose()
+        )
+
+        values = rng.normal(size=warm.nnz)
+        assert_same_matrix(warm.with_data(values), cold.with_data(values))
+
+        rf = rng.normal(size=n)
+        cf = rng.normal(size=m)
+        assert_same_matrix(warm.scale_rows(rf), cold.scale_rows(rf))
+        assert_same_matrix(warm.scale_cols(cf), cold.scale_cols(cf))
+        assert np.array_equal(warm.row_sum(), cold.row_sum())
+        assert np.array_equal(warm.col_sum(), cold.col_sum())
+
+        r0, r1 = 0, max(1, n // 2)
+        c0, c1 = 0, max(1, m // 2)
+        assert_same_matrix(
+            warm.extract_block(r0, r1, c0, c1),
+            cold.extract_block(r0, r1, c0, c1),
+        )
+        k = min(n, m)
+        verts = np.arange(k, dtype=np.int64)
+        assert_same_matrix(
+            warm.extract_submatrix(verts), cold.extract_submatrix(verts)
+        )
+
+    def test_to_scipy_matches_cold(self, rng):
+        warm = random_csr(rng, 9, 7, density=0.3)
+        warm.to_scipy()  # build the prototype
+        cold = cold_copy(warm)
+        sw, sc = warm.to_scipy(), cold.to_scipy()
+        assert np.array_equal(sw.toarray(), sc.toarray())
+        # Clones of the same pattern share index buffers, never data.
+        again = warm.to_scipy()
+        assert again.indices is sw.indices
+        assert again.data is warm.data
+
+
+class TestStructureImmutability:
+    """Structural arrays are frozen; ``data`` stays writable."""
+
+    def test_structure_arrays_read_only(self, rng):
+        csr = random_csr(rng, 8, 8, density=0.3)
+        for arr in (
+            csr.indptr,
+            csr.indices,
+            csr.expand_rows(),
+            csr.row_lengths(),
+            csr.transpose_permutation(),
+        ):
+            assert not arr.flags.writeable
+            with pytest.raises(ValueError):
+                arr[0] = 0
+        assert csr.data.flags.writeable
+
+    def test_data_mutation_cannot_invalidate_structure(self, rng):
+        csr = random_csr(rng, 10, 10, density=0.25)
+        rows = csr.expand_rows()
+        perm = csr.transpose_permutation()
+        lengths = csr.row_lengths()
+        csr.data[:] = -1.0
+        assert csr.expand_rows() is rows
+        assert csr.transpose_permutation() is perm
+        assert csr.row_lengths() is lengths
+        # The mutated values flow through same-pattern ops correctly.
+        assert np.array_equal(
+            csr.transpose().data, np.full(csr.nnz, -1.0)[perm]
+        )
+
+    def test_interning_shares_structure(self, rng):
+        csr = random_csr(rng, 8, 6, density=0.3)
+        derived = csr.with_data(np.ones(csr.nnz))
+        assert derived.structure is csr.structure
+        assert derived.indptr is csr.indptr
+        assert derived.indices is csr.indices
+        assert csr.scale_rows(np.ones(8)).structure is csr.structure
+        assert csr.astype(np.float32).structure is csr.structure
+        # Registry lookup by array identity finds the same object.
+        assert (
+            lookup_structure(csr.indptr, csr.indices, csr.shape)
+            is csr.structure
+        )
+
+    def test_transpose_back_link(self, rng):
+        csr = random_csr(rng, 7, 9, density=0.3)
+        t = csr.transpose()
+        back = t.transpose()
+        # Double transpose returns to the *same* structure and arrays.
+        assert back.structure is csr.structure
+        assert back.indptr is csr.indptr
+        assert back.indices is csr.indices
+        assert np.array_equal(back.data, csr.data)
+        # Inverse permutations compose to the identity.
+        p, q = csr.transpose_permutation(), t.transpose_permutation()
+        assert np.array_equal(p[q], np.arange(csr.nnz))
+
+
+class TestAmortization:
+    """Structural quantities are computed at most once per pattern."""
+
+    def test_gat_training_computes_structure_once(self):
+        data = synthetic_classification(n=80, feature_dim=8, seed=1)
+        a = prepare_adjacency(
+            erdos_renyi(80, 600, seed=2), dtype=np.float64
+        )
+        h = data.features.astype(np.float64)
+        model = gat_model(8, 16, data.num_classes, num_layers=3, seed=0)
+
+        def epoch():
+            out = model.forward(a, h, training=True)
+            model.backward(np.ones_like(out) / out.size)
+
+        epoch()  # warm every structural cache
+        events = event_counter()
+        base = events.snapshot()
+        for _ in range(3):
+            epoch()
+        after = events.snapshot()
+
+        def delta(label):
+            return after.get(label, 0) - base.get(label, 0)
+
+        # Nothing structural is ever recomputed after the first epoch …
+        assert delta("expand_rows.computed") == 0
+        assert delta("row_lengths.computed") == 0
+        assert delta("transpose_perm.computed") == 0
+        assert delta("pattern.registered") == 0
+        # … while the hot path keeps hitting the caches. (There is no
+        # ``pattern.hit`` assertion: same-pattern constructors go through
+        # ``_from_structure`` and skip the registry lookup entirely.)
+        assert delta("expand_rows.hit") > 0
+        assert delta("transpose_perm.hit") > 0
+
+    def test_first_epoch_computes_at_most_once_per_pattern(self):
+        a = prepare_adjacency(erdos_renyi(50, 300, seed=5), dtype=np.float64)
+        h = np.random.default_rng(0).normal(size=(50, 6))
+        model = gat_model(6, 8, 3, num_layers=3, seed=0)
+        events = event_counter()
+        base = events.snapshot()
+        out = model.forward(a, h, training=True)
+        model.backward(np.ones_like(out) / out.size)
+        after = events.snapshot()
+        # Patterns in play: the adjacency and (lazily) its transpose.
+        registered = after.get("pattern.registered", 0) - base.get(
+            "pattern.registered", 0
+        )
+        assert registered <= 2
+        for label in (
+            "expand_rows.computed",
+            "row_lengths.computed",
+            "transpose_perm.computed",
+        ):
+            assert after.get(label, 0) - base.get(label, 0) <= 2

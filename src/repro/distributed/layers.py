@@ -64,6 +64,50 @@ __all__ = [
 ]
 
 
+# ----------------------------------------------------------------------
+# Shared SPMD plumbing (used by every layer below; the helpers fix the
+# communication-op order, which the sequencer-equivalence tests pin)
+# ----------------------------------------------------------------------
+def _aggregate_redistribute(grid, s_block, hp, sequencer, counter):
+    """Aggregation tail shared by all layers: :math:`Z_j` from local
+    :math:`S_{ij} H'_j` partials via one reduce+redistribute."""
+    grid.comm.stats.set_phase("aggregate")
+    partial = spmm(s_block, hp, counter=counter)
+    grid.comm.stats.set_phase("redistribute")
+    return reduce_and_redistribute(grid, partial, sequencer)
+
+
+def _project_aggregate_redistribute(
+    grid, s_block, h_block, weight, sequencer, counter
+):
+    """``project_first`` forward tail: ``hp = H W`` then aggregate."""
+    grid.comm.stats.set_phase("aggregate")
+    hp = mm(h_block, weight, counter=counter)
+    z_block = _aggregate_redistribute(grid, s_block, hp, sequencer, counter)
+    return hp, z_block
+
+
+def _backward_entry(grid, s_block, h_block, g_block, counter):
+    """Common backward prologue of VA/AGNN/GCN.
+
+    Broadcasts the output gradient along grid rows, forms the
+    :math:`S^T G` partial and allreduces the Eq.-13 weight gradient
+    :math:`Y = H^T S^T G` — in that exact communication order.
+    """
+    g_row = row_bcast_from_diagonal(grid, g_block)
+    stg_partial = spmm(s_block.transpose(), g_row, counter=counter)
+    d_weight = grid.comm.allreduce(
+        mm(h_block.T, stg_partial, counter=counter)
+    )
+    return g_row, stg_partial, d_weight
+
+
+def _assemble_gamma(grid, sequencer, row_term, col_term):
+    """Fold the row-role feature terms into the column distribution:
+    :math:`\\Gamma_j = \\text{col} + (\\text{row})^T`-exchange."""
+    return col_term + transpose_exchange(grid, row_term, sequencer)
+
+
 class DistGnnLayer(ABC):
     """Base class: replicated parameters + SPMD forward/backward.
 
@@ -156,11 +200,9 @@ class DistVALayer(DistGnnLayer):
         h_row = row_bcast_from_diagonal(grid, h_block)
         dots = sddmm_dot(a_block, h_row, h_block, counter=counter)
         s_block = a_block.with_data(a_block.data * dots)
-        grid.comm.stats.set_phase("aggregate")
-        hp = mm(h_block, self.weight, counter=counter)
-        partial = spmm(s_block, hp, counter=counter)
-        grid.comm.stats.set_phase("redistribute")
-        z_block = reduce_and_redistribute(grid, partial, sequencer)
+        hp, z_block = _project_aggregate_redistribute(
+            grid, s_block, h_block, self.weight, sequencer, counter
+        )
         h_next = self.activation.fn(z_block)
         if not training:
             return h_next, None
@@ -173,11 +215,8 @@ class DistVALayer(DistGnnLayer):
                  counter=null_counter(), need_input_grad=True):
         grid.comm.stats.set_phase("backward")
         a_block = cache.a_block
-        g_row = row_bcast_from_diagonal(grid, g_block)
-        s_t = cache.s_block.transpose()
-        stg_partial = spmm(s_t, g_row, counter=counter)
-        d_weight = grid.comm.allreduce(
-            mm(cache.h_block.T, stg_partial, counter=counter)
+        g_row, stg_partial, d_weight = _backward_entry(
+            grid, cache.s_block, cache.h_block, g_block, counter
         )
         if not need_input_grad:
             return None, {"weight": d_weight}
@@ -189,7 +228,7 @@ class DistVALayer(DistGnnLayer):
         col_partial = spmm(n_block.transpose(), cache.h_row, counter=counter)
         col_partial = col_partial + mm(stg_partial, self.weight.T, counter=counter)
         col_term = grid.col_comm.allreduce(col_partial)
-        gamma = col_term + transpose_exchange(grid, row_term, sequencer)
+        gamma = _assemble_gamma(grid, sequencer, row_term, col_term)
         return gamma, {"weight": d_weight}
 
     def parameters(self):
@@ -254,11 +293,9 @@ class DistAGNNLayer(DistGnnLayer):
         )
         counter.add(7 * a_block.nnz, "softmax")
         s_block = a_block.with_data(soft)
-        grid.comm.stats.set_phase("aggregate")
-        hp = mm(h_block, self.weight, counter=counter)
-        partial = spmm(s_block, hp, counter=counter)
-        grid.comm.stats.set_phase("redistribute")
-        z_block = reduce_and_redistribute(grid, partial, sequencer)
+        hp, z_block = _project_aggregate_redistribute(
+            grid, s_block, h_block, self.weight, sequencer, counter
+        )
         h_next = self.activation.fn(z_block)
         if not training:
             return h_next, None
@@ -272,11 +309,8 @@ class DistAGNNLayer(DistGnnLayer):
                  counter=null_counter(), need_input_grad=True):
         grid.comm.stats.set_phase("backward")
         a_block = cache.a_block
-        g_row = row_bcast_from_diagonal(grid, g_block)
-        s_t = cache.s_block.transpose()
-        stg_partial = spmm(s_t, g_row, counter=counter)
-        d_weight = grid.comm.allreduce(
-            mm(cache.h_block.T, stg_partial, counter=counter)
+        g_row, stg_partial, d_weight = _backward_entry(
+            grid, cache.s_block, cache.h_block, g_block, counter
         )
         ds = sddmm_dot(a_block, g_row, cache.hp, counter=counter)
         dt = distributed_row_softmax_backward(
@@ -312,7 +346,7 @@ class DistAGNNLayer(DistGnnLayer):
         col_term = col_term - (cc / (norms_col**2))[:, None] * cache.h_block
         counter.add(8 * a_block.nnz, "agnn_vjp")
 
-        gamma = col_term + transpose_exchange(grid, row_term, sequencer)
+        gamma = _assemble_gamma(grid, sequencer, row_term, col_term)
         return gamma, grads
 
     def parameters(self):
@@ -377,10 +411,9 @@ class DistGATLayer(DistGnnLayer):
         soft = distributed_row_softmax(grid, a_block, logits)
         counter.add(6 * a_block.nnz, "softmax")
         s_block = a_block.with_data(soft)
-        grid.comm.stats.set_phase("aggregate")
-        partial = spmm(s_block, hp_col, counter=counter)
-        grid.comm.stats.set_phase("redistribute")
-        z_block = reduce_and_redistribute(grid, partial, sequencer)
+        z_block = _aggregate_redistribute(
+            grid, s_block, hp_col, sequencer, counter
+        )
         h_next = self.activation.fn(z_block)
         if not training:
             return h_next, None
@@ -437,7 +470,7 @@ class DistGATLayer(DistGnnLayer):
         grads = {"weight": d_weight, "a_src": da_src, "a_dst": da_dst}
         if not need_input_grad:
             return None, grads
-        dhp = col_term + transpose_exchange(grid, row_term, sequencer)
+        dhp = _assemble_gamma(grid, sequencer, row_term, col_term)
         gamma = mm(dhp, self.weight.T, counter=counter)
         return gamma, grads
 
@@ -479,11 +512,9 @@ class DistGCNLayer(DistGnnLayer):
 
     def forward(self, grid, a_block, h_block, sequencer,
                 counter=null_counter(), training=True):
-        grid.comm.stats.set_phase("aggregate")
-        hp = mm(h_block, self.weight, counter=counter)
-        partial = spmm(a_block, hp, counter=counter)
-        grid.comm.stats.set_phase("redistribute")
-        z_block = reduce_and_redistribute(grid, partial, sequencer)
+        hp, z_block = _project_aggregate_redistribute(
+            grid, a_block, h_block, self.weight, sequencer, counter
+        )
         h_next = self.activation.fn(z_block)
         if not training:
             return h_next, None
@@ -494,10 +525,8 @@ class DistGCNLayer(DistGnnLayer):
     def backward(self, grid, cache, g_block, sequencer,
                  counter=null_counter(), need_input_grad=True):
         grid.comm.stats.set_phase("backward")
-        g_row = row_bcast_from_diagonal(grid, g_block)
-        stg_partial = spmm(cache.a_block.transpose(), g_row, counter=counter)
-        d_weight = grid.comm.allreduce(
-            mm(cache.h_block.T, stg_partial, counter=counter)
+        _, stg_partial, d_weight = _backward_entry(
+            grid, cache.a_block, cache.h_block, g_block, counter
         )
         if not need_input_grad:
             return None, {"weight": d_weight}

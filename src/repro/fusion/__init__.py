@@ -13,13 +13,26 @@ executes either the fused program (production) or a tile-materialising
 fallback (the ablation baseline quantifying what fusion buys).
 
 Pre-built DAGs for the paper's three models live in
-:mod:`repro.fusion.models`.
+:mod:`repro.fusion.models`. Reverse-mode autodiff over the IR
+(:mod:`repro.fusion.autodiff`) derives the Section-5 backward
+formulations from the same forward DAGs, and
+:class:`repro.fusion.layer.DagLayer` trains models from them with zero
+hand-written backward code.
 """
 
+from repro.fusion.autodiff import GradProgram, build_vjp
 from repro.fusion.dag import OpDag, OpNode
-from repro.fusion.fuse import FusedKernel, fuse
-from repro.fusion.interp import execute
-from repro.fusion.models import agnn_psi_dag, gat_psi_dag, va_psi_dag
+from repro.fusion.fuse import FusedKernel, FusedProgram, fuse
+from repro.fusion.interp import ProgramRunner, execute
+from repro.fusion.layer import DagLayer
+from repro.fusion.models import (
+    agnn_layer_dag,
+    agnn_psi_dag,
+    gat_layer_dag,
+    gat_psi_dag,
+    va_layer_dag,
+    va_psi_dag,
+)
 from repro.fusion.sparsity import Sparsity, infer_sparsity
 
 __all__ = [
@@ -29,8 +42,16 @@ __all__ = [
     "infer_sparsity",
     "fuse",
     "FusedKernel",
+    "FusedProgram",
     "execute",
+    "ProgramRunner",
+    "GradProgram",
+    "build_vjp",
+    "DagLayer",
     "va_psi_dag",
     "agnn_psi_dag",
     "gat_psi_dag",
+    "va_layer_dag",
+    "agnn_layer_dag",
+    "gat_layer_dag",
 ]

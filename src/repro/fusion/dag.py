@@ -4,9 +4,14 @@ Nodes carry a symbolic *shape kind* rather than concrete dimensions —
 what matters for sparsity inference and fusion is whether a tensor is
 ``n x n`` (graph-sized), ``n x k`` (tall), ``k x k`` / ``k`` (parameter
 sized), or ``n`` (per-vertex). The op vocabulary covers everything the
-three A-GNN :math:`\\Psi` formulations need: matmul, transpose,
-Hadamard product/division, addition, row summation, replication
-(``rep``/``rep^T`` of Table 2), element-wise exp/LeakyReLU/scale.
+three A-GNN :math:`\\Psi` formulations *and their Section-5 backward
+formulations* need: matmul, transpose, Hadamard product/division,
+addition, row/column summation (the adjoints of ``rep``/``rep^T``),
+replication (``rep``/``rep^T`` of Table 2), outer products, row
+scaling, element-wise exp/LeakyReLU/scale, and explicit pattern
+sampling. A DAG may carry several *named* outputs (forward value plus
+per-input gradients), which is how
+:mod:`repro.fusion.autodiff` returns joint forward+backward programs.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ __all__ = ["OpNode", "OpDag", "SHAPE_KINDS"]
 SHAPE_KINDS = ("nn", "nk", "kn", "kk", "n", "k", "scalar")
 
 #: Ops whose output shape follows these rules (checked at build time).
-_UNARY = {"exp", "leaky_relu", "scale", "reciprocal"}
+_UNARY = {"exp", "leaky_relu", "leaky_relu_grad", "scale", "reciprocal"}
 _BINARY_ELEMENTWISE = {"hadamard", "divide", "add"}
 
 
@@ -56,6 +61,7 @@ class OpDag:
     def __init__(self) -> None:
         self.nodes: list[OpNode] = []
         self.output: int | None = None
+        self.outputs: dict[str, int] = {}
         self._sparse_inputs: set[int] = set()
 
     # ------------------------------------------------------------------
@@ -103,6 +109,10 @@ class OpDag:
             ("kk", "kn"): "kn",
             ("nk", "k"): "n",
             ("kk", "k"): "k",
+            # Backward-pass products (Section 5): sparse-times-vector
+            # and the adjoints of the tall-times-vector projections.
+            ("nn", "n"): "n",
+            ("kn", "n"): "k",
         }
         kind = table.get((ka, kb))
         if kind is None:
@@ -142,6 +152,12 @@ class OpDag:
             "leaky_relu", (a,), self._kind(a), slope=slope
         )
 
+    def leaky_relu_grad(self, a: int, slope: float = 0.2) -> int:
+        """Element-wise LeakyReLU derivative mask (1 or ``slope``)."""
+        return self._add(
+            "leaky_relu_grad", (a,), self._kind(a), slope=slope
+        )
+
     def scale(self, a: int, factor: float) -> int:
         return self._add("scale", (a,), self._kind(a), factor=factor)
 
@@ -154,6 +170,42 @@ class OpDag:
         if kind is None:
             raise ValueError("row_sum needs a matrix operand")
         return self._add("row_sum", (a,), kind)
+
+    def col_sum(self, a: int) -> int:
+        """``sum(X^T) = X^T 1`` — per-column summation.
+
+        The adjoint of :meth:`replicate_t` (Table 2's ``rep^T``), used
+        throughout the Section-5 backward formulations.
+        """
+        kind = {"nn": "n", "nk": "k", "kk": "k"}.get(self._kind(a))
+        if kind is None:
+            raise ValueError("col_sum needs a matrix operand")
+        return self._add("col_sum", (a,), kind)
+
+    def row_scale(self, a: int, s: int) -> int:
+        """``diag(s) X`` — scale each row of ``a`` by a vector entry.
+
+        The adjoint of :meth:`row_norm` routes through this op:
+        :math:`dH \\mathrel{+}= \\mathrm{diag}(dn \\oslash n)\\,H`.
+        """
+        ka, ks = self._kind(a), self._kind(s)
+        if (ka, ks) not in (("nk", "n"), ("nn", "n"), ("kk", "k")):
+            raise ValueError(f"row_scale of {ka} by {ks} not supported")
+        return self._add("row_scale", (a, s), ka)
+
+    def sample(self, a: int) -> int:
+        """Restrict an ``n x n`` operand to the adjacency pattern.
+
+        Explicit Table-1 sampling without an adjacency multiplication:
+        the output is SPARSE and carries the operand's values at the
+        stored entries only. The autodiff pass emits this whenever the
+        adjoint of a SPARSE node is assembled purely from virtual
+        contributions (e.g. the replicated softmax-denominator
+        gradient).
+        """
+        if self._kind(a) != "nn":
+            raise ValueError("sample needs an n x n operand")
+        return self._add("sample", (a,), "nn")
 
     def row_norm(self, a: int) -> int:
         """Per-row L2 norms of an ``n x k`` operand (AGNN's ``n`` vector)."""
@@ -174,13 +226,27 @@ class OpDag:
         return self._add("replicate_t", (a,), "nn")
 
     def outer(self, a: int, b: int) -> int:
-        """Outer product of two n-vectors (AGNN's ``n n^T``)."""
-        if (self._kind(a), self._kind(b)) != ("n", "n"):
-            raise ValueError("outer needs two n-vectors")
-        return self._add("outer", (a, b), "nn")
+        """Outer product of two vectors.
+
+        ``(n, n)`` gives AGNN's virtual ``n n^T``; ``(n, k)`` gives the
+        rank-1 ``n x k`` feature gradients of the GAT backward pass
+        (:math:`du\\,a^T`), which are DENSE (tall, not graph-quadratic).
+        """
+        kind = {("n", "n"): "nn", ("n", "k"): "nk", ("k", "n"): "kn"}.get(
+            (self._kind(a), self._kind(b))
+        )
+        if kind is None:
+            raise ValueError("outer needs two vector operands")
+        return self._add("outer", (a, b), kind)
 
     def set_output(self, a: int) -> None:
         self.output = a
+
+    def mark_output(self, name: str, a: int) -> None:
+        """Register ``a`` as a named output (multi-output programs)."""
+        if not 0 <= a < len(self.nodes):
+            raise ValueError(f"undefined operand %{a}")
+        self.outputs[name] = a
 
     # ------------------------------------------------------------------
     def topological_order(self) -> list[int]:
@@ -197,4 +263,7 @@ class OpDag:
 
     def pretty(self) -> str:
         """Readable listing of the DAG (used in docs/tests)."""
-        return "\n".join(repr(node) for node in self.nodes)
+        lines = [repr(node) for node in self.nodes]
+        for name, nid in self.outputs.items():
+            lines.append(f"output {name} = %{nid}")
+        return "\n".join(lines)

@@ -31,8 +31,9 @@ from repro.fusion.sparsity import Sparsity, infer_sparsity
 __all__ = ["FusedKernel", "FusedProgram", "fuse"]
 
 #: Ops that can traverse a virtual value without materialising it.
-_EDGEWISE = {"hadamard", "divide", "add", "exp", "leaky_relu", "scale",
-             "reciprocal", "transpose"}
+_EDGEWISE = {"hadamard", "divide", "add", "exp", "leaky_relu",
+             "leaky_relu_grad", "scale", "reciprocal", "transpose",
+             "sample"}
 
 
 @dataclass
@@ -73,6 +74,36 @@ class FusedProgram:
     def virtual_nodes(self) -> list[int]:
         return [i for i, s in self.sparsity.items() if s is Sparsity.VIRTUAL]
 
+    def describe(self) -> str:
+        """Full-program listing: every node with its sparsity class,
+        kernel membership, and the fused-kernel summaries.
+
+        Builds on :meth:`FusedKernel.describe`; covers joint
+        forward+backward programs (see :mod:`repro.fusion.autodiff`)
+        as well as forward-only ones. Used by the docs/examples to show
+        what the toolchain derived.
+        """
+        kernel_of: dict[int, int] = {}
+        for index, kernel in enumerate(self.kernels):
+            kernel_of[kernel.output] = index
+            for nid in kernel.fused_nodes:
+                kernel_of[nid] = index
+        lines = []
+        for node in self.dag.nodes:
+            tag = self.sparsity[node.id].value
+            where = (
+                f"  [kernel {kernel_of[node.id]}]"
+                if node.id in kernel_of
+                else ""
+            )
+            lines.append(f"{node!r:<48} : {tag}{where}")
+        for name, nid in self.dag.outputs.items():
+            lines.append(f"output {name} = %{nid}")
+        lines.append(f"-- {len(self.kernels)} fused kernel(s) --")
+        for index, kernel in enumerate(self.kernels):
+            lines.append(f"kernel {index}: {kernel.describe(self.dag)}")
+        return "\n".join(lines)
+
 
 def fuse(dag: OpDag) -> FusedProgram:
     """Run sparsity inference + the path-fusing analysis.
@@ -82,6 +113,9 @@ def fuse(dag: OpDag) -> FusedProgram:
     """
     sparsity = infer_sparsity(dag)
     consumers = dag.consumers()
+    out_nodes = set(dag.outputs.values())
+    if dag.output is not None:
+        out_nodes.add(dag.output)
 
     # Validate: every virtual node's consumers must themselves be
     # virtual edge-wise ops or sparse sampling ops.
@@ -89,11 +123,11 @@ def fuse(dag: OpDag) -> FusedProgram:
         if sparsity[node.id] is not Sparsity.VIRTUAL:
             continue
         uses = consumers[node.id]
-        if not uses and node.id != dag.output:
+        if not uses and node.id not in out_nodes:
             continue  # dead virtual — harmless
-        if node.id == dag.output:
+        if node.id in out_nodes:
             raise ValueError(
-                f"virtual node %{node.id} is the DAG output; it would "
+                f"virtual node %{node.id} is a DAG output; it would "
                 "materialise an n x n dense matrix"
             )
         for user in uses:

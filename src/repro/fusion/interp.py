@@ -19,7 +19,12 @@ Three modes, sharing one evaluation engine:
 Inputs are bound by node *name*; the single sparse input binds a
 :class:`~repro.tensor.csr.CSRMatrix` whose pattern every SPARSE node
 shares. Outputs: a SPARSE result returns a CSR with the computed edge
-values; DENSE results return arrays.
+values; DENSE results return arrays. A program with *named* outputs
+(e.g. a joint forward+backward program from
+:mod:`repro.fusion.autodiff`) can be run output-by-output through a
+:class:`ProgramRunner`, which keeps every intermediate it computed —
+so a backward output evaluated after the forward one reuses the cached
+activations instead of recomputing them.
 """
 
 from __future__ import annotations
@@ -32,10 +37,11 @@ from repro.fusion.dag import OpDag
 from repro.fusion.fuse import FusedProgram, fuse
 from repro.fusion.sparsity import Sparsity
 from repro.tensor.csr import CSRMatrix
-from repro.tensor.segment import segment_sum
+from repro.tensor.kernels import spmm
+from repro.tensor.segment import bincount_sum, segment_sum
 from repro.tensor.workspace import workspace
 
-__all__ = ["execute"]
+__all__ = ["execute", "ProgramRunner"]
 
 
 def execute(
@@ -43,6 +49,7 @@ def execute(
     inputs: dict[str, Any],
     mode: str = "fused",
     tile_rows: int = 128,
+    outputs: list[str] | tuple[str, ...] | None = None,
 ):
     """Run a psi DAG; returns the output node's value.
 
@@ -57,30 +64,107 @@ def execute(
         ``"fused"``, ``"tiled"`` or ``"dense"``.
     tile_rows:
         Row-tile height for the tiled executor.
+    outputs:
+        Names of registered outputs (``dag.mark_output``) to evaluate;
+        returns a dict. With ``None`` the single ``dag.output`` value
+        is returned directly.
     """
-    if isinstance(program, OpDag):
-        program = fuse(program)
-    dag = program.dag
-    if dag.output is None:
-        raise ValueError("DAG has no output set")
-    if mode not in ("fused", "tiled", "dense"):
-        raise ValueError("mode must be 'fused', 'tiled' or 'dense'")
+    runner = ProgramRunner(program, inputs, mode=mode, tile_rows=tile_rows)
+    if outputs is None:
+        return runner.run()
+    return {name: runner.run(name) for name in outputs}
 
-    pattern = _find_pattern(dag, inputs)
-    engine = _Engine(program, inputs, pattern, mode, tile_rows)
-    return engine.result(dag.output)
+
+class ProgramRunner:
+    """Stateful program executor with cached activations.
+
+    Wraps one :class:`_Engine` whose memo tables persist across
+    :meth:`run` calls — the execution contract behind
+    :class:`repro.fusion.layer.DagLayer`: run the forward output first,
+    :meth:`bind` the gradient seed, then run the gradient outputs; all
+    forward intermediates (softmax values, projected features, …) are
+    reused rather than recomputed. Inputs that no requested output
+    depends on (e.g. the seed during forward) may stay unbound.
+    """
+
+    def __init__(
+        self,
+        program: OpDag | FusedProgram,
+        inputs: dict[str, Any],
+        mode: str = "fused",
+        tile_rows: int = 128,
+    ) -> None:
+        if isinstance(program, OpDag):
+            program = fuse(program)
+        if mode not in ("fused", "tiled", "dense"):
+            raise ValueError("mode must be 'fused', 'tiled' or 'dense'")
+        self.program = program
+        self.dag = program.dag
+        self._inputs = dict(inputs)
+        pattern = _find_pattern(self.dag, self._inputs)
+        self._engine = _Engine(
+            program, self._inputs, pattern, mode, tile_rows
+        )
+
+    @property
+    def pattern(self) -> CSRMatrix | None:
+        return self._engine.pattern
+
+    def bind(self, name: str, value: Any) -> None:
+        """Bind (or rebind) an input by name before it is first read.
+
+        Rebinding an input whose value already flowed into cached
+        results is rejected — the memoised activations would be stale.
+        """
+        for node in self.dag.nodes:
+            if node.op == "input" and node.name == name:
+                if (node.id in self._engine._dense
+                        or node.id in self._engine._edge):
+                    raise RuntimeError(
+                        f"input {name!r} was already consumed; "
+                        "rebinding would desynchronise cached values"
+                    )
+                if node.id in self.dag.sparse_inputs:
+                    if not isinstance(value, CSRMatrix):
+                        raise TypeError(
+                            f"sparse input {name!r} must be a CSRMatrix"
+                        )
+                    pattern = self._engine.pattern
+                    if pattern is not None and value.nnz != pattern.nnz:
+                        raise ValueError(
+                            "all sparse inputs must share one pattern"
+                        )
+                self._inputs[name] = value
+                return
+        raise KeyError(f"no input named {name!r}")
+
+    def run(self, output: str | None = None):
+        """Evaluate one output: a named one, or the default output."""
+        if output is None:
+            if self.dag.output is None:
+                raise ValueError("DAG has no output set")
+            return self._engine.result(self.dag.output)
+        if output not in self.dag.outputs:
+            raise KeyError(f"no output named {output!r}")
+        return self._engine.result(self.dag.outputs[output])
 
 
 def _find_pattern(dag: OpDag, inputs: dict[str, Any]) -> CSRMatrix | None:
     pattern = None
     for nid in dag.sparse_inputs:
         name = dag.nodes[nid].name
+        if name not in inputs:
+            continue  # may be bound later (e.g. the autodiff seed)
         value = inputs.get(name)
         if not isinstance(value, CSRMatrix):
             raise TypeError(f"sparse input {name!r} must be a CSRMatrix")
         if pattern is not None and value.nnz != pattern.nnz:
             raise ValueError("all sparse inputs must share one pattern")
         pattern = value
+    if pattern is None and dag.sparse_inputs:
+        raise TypeError(
+            "at least one sparse input must be bound at construction"
+        )
     return pattern
 
 
@@ -140,9 +224,9 @@ class _Engine:
                    "add": a + b}[op]
         elif op == "exp":
             out = np.exp(self.value(node.inputs[0]))
-        elif op == "leaky_relu":
+        elif op in ("leaky_relu", "leaky_relu_grad"):
             x = self.value(node.inputs[0])
-            out = np.where(x > 0, x, node.attrs["slope"] * x)
+            out = _apply_unary(op, x, node.attrs)
         elif op == "scale":
             out = node.attrs["factor"] * self.value(node.inputs[0])
         elif op == "reciprocal":
@@ -156,9 +240,23 @@ class _Engine:
                                   self.pattern.indptr)
             else:
                 out = self.value(operand).sum(axis=1)
+        elif op == "col_sum":
+            operand = node.inputs[0]
+            if self.sparsity[operand] is Sparsity.SPARSE:
+                out = bincount_sum(
+                    self.pattern.indices,
+                    self.edge_values(operand),
+                    self.pattern.shape[1],
+                )
+            else:
+                out = self.value(operand).sum(axis=0)
         elif op == "row_norm":
             x = self.value(node.inputs[0])
             out = np.sqrt(np.einsum("ij,ij->i", x, x))
+        elif op == "row_scale":
+            x = self.value(node.inputs[0])
+            s = self.value(node.inputs[1])
+            out = s[:, None] * x
         elif op in ("replicate", "replicate_t", "outer"):
             out = self._replicate_dense(node)
         else:  # pragma: no cover
@@ -166,7 +264,31 @@ class _Engine:
         self._dense[nid] = out
         return out
 
+    def _as_csr(self, nid: int) -> CSRMatrix | None:
+        """Resolve a node to a CSR operand for sparse matrix products.
+
+        Handles SPARSE nodes (edge values on the shared pattern) and
+        lazy transposes of SPARSE nodes (the ``S^T G`` / ``N^T H``
+        SpMMs of the Section-5 backward formulations) without ever
+        aligning transposed edge values with the forward pattern.
+        """
+        node = self.dag.nodes[nid]
+        if self.sparsity[nid] is not Sparsity.SPARSE:
+            return None
+        if node.op == "transpose":
+            operand = node.inputs[0]
+            if self.sparsity[operand] is not Sparsity.SPARSE:
+                return None
+            return self.pattern.with_data(
+                self.edge_values(operand)
+            ).transpose()
+        return self.pattern.with_data(self.edge_values(nid))
+
     def _matmul_dense(self, node) -> np.ndarray:
+        left = self._as_csr(node.inputs[0])
+        if left is not None:
+            # SpMM / SpMV: sparse-times-dense (Table 2).
+            return spmm(left, self.value(node.inputs[1]))
         a = self.value(node.inputs[0])
         b = self.value(node.inputs[1])
         return a @ b
@@ -231,7 +353,10 @@ class _Engine:
             a, b = operands
             out = {"hadamard": a * b, "divide": _safe_div(a, b),
                    "add": a + b}[op]
-        elif op in ("exp", "leaky_relu", "scale", "reciprocal"):
+        elif op == "sample":
+            out = operands[0]
+        elif op in ("exp", "leaky_relu", "leaky_relu_grad", "scale",
+                    "reciprocal"):
             out = _apply_unary(op, operands[0], node.attrs)
         else:
             raise ValueError(f"sparse op {op!r} unsupported in dense mode")
@@ -255,7 +380,10 @@ class _Engine:
                 vb = self._operand_at(b, rows, cols)
                 return {"hadamard": va * vb, "divide": _safe_div(va, vb),
                         "add": va + vb}[op]
-            if op in ("exp", "leaky_relu", "scale", "reciprocal"):
+            if op == "sample":
+                return self._operand_at(node.inputs[0], rows, cols)
+            if op in ("exp", "leaky_relu", "leaky_relu_grad", "scale",
+                      "reciprocal"):
                 v = self._operand_at(node.inputs[0], rows, cols)
                 return _apply_unary(op, v, node.attrs)
             raise ValueError(f"sparse op {op!r} unsupported in fused mode")
@@ -292,7 +420,8 @@ class _Engine:
                 vb = self._operand_at(node.inputs[1], rows, cols)
                 return {"hadamard": va * vb, "divide": _safe_div(va, vb),
                         "add": va + vb}[op]
-            if op in ("exp", "leaky_relu", "scale", "reciprocal"):
+            if op in ("exp", "leaky_relu", "leaky_relu_grad", "scale",
+                      "reciprocal"):
                 v = self._operand_at(node.inputs[0], rows, cols)
                 return _apply_unary(op, v, node.attrs)
             raise ValueError(f"virtual op {op!r} unsupported in fused mode")
@@ -355,7 +484,10 @@ class _Engine:
             a, b = operands
             return {"hadamard": a * b, "divide": _safe_div(a, b),
                     "add": a + b}[op]
-        if op in ("exp", "leaky_relu", "scale", "reciprocal"):
+        if op == "sample":
+            return operands[0]
+        if op in ("exp", "leaky_relu", "leaky_relu_grad", "scale",
+                  "reciprocal"):
             return _apply_unary(op, operands[0], node.attrs)
         raise ValueError(f"sparse op {op!r} unsupported in tiled mode")
 
@@ -396,7 +528,8 @@ class _Engine:
             b = self._tile_value(node.inputs[1], t0, t1)
             return {"hadamard": a * b, "divide": _safe_div(a, b),
                     "add": a + b}[op]
-        if op in ("exp", "leaky_relu", "scale", "reciprocal"):
+        if op in ("exp", "leaky_relu", "leaky_relu_grad", "scale",
+                  "reciprocal"):
             return _apply_unary(
                 op, self._tile_value(node.inputs[0], t0, t1), node.attrs
             )
@@ -414,6 +547,8 @@ def _apply_unary(op: str, v: np.ndarray, attrs: dict) -> np.ndarray:
         return np.exp(v)
     if op == "leaky_relu":
         return np.where(v > 0, v, attrs["slope"] * v)
+    if op == "leaky_relu_grad":
+        return np.where(v > 0, np.ones_like(v), attrs["slope"])
     if op == "scale":
         return attrs["factor"] * v
     if op == "reciprocal":

@@ -1,0 +1,166 @@
+"""``DagLayer``: a trainable GNN layer executed from the op-DAG IR.
+
+The programmability end-point of the toolchain (Figure 4): the model
+author supplies only the forward global formulation — one of the
+:mod:`repro.fusion.models` layer DAGs —
+:func:`repro.fusion.autodiff.build_vjp` derives the joint
+forward+backward program, the fusion pass compiles its virtual
+intermediates into SDDMM-like kernels, and this layer runs both passes
+through one :class:`~repro.fusion.interp.ProgramRunner` per step so the
+backward outputs reuse the cached forward activations (softmax edge
+values, projected features, Gram dot products).
+
+``DagLayer`` satisfies the :class:`repro.models.base.GnnLayer`
+contract, so it drops into :class:`repro.models.base.GnnModel` next to
+the hand-fused layers. The hand-written kernels
+(:mod:`repro.core.psi`, used by ``VALayer``/``AGNNLayer``/``GATLayer``)
+remain the default *fast path* — they fuse the softmax into two
+segment sweeps and reuse pooled workspaces — while ``DagLayer`` is the
+*derived* path: slower per edge, but requiring zero backward code.
+Tests assert the two paths agree to tight tolerances, which is exactly
+the paper's argument that the global formulations and their derived
+gradients are the single source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fusion.autodiff import GradProgram, build_vjp
+from repro.fusion.interp import ProgramRunner
+from repro.fusion.models import agnn_layer_dag, gat_layer_dag, va_layer_dag
+from repro.models.base import GnnLayer, glorot
+from repro.tensor.csr import CSRMatrix
+from repro.util.counters import FlopCounter, null_counter
+from repro.util.rng import make_rng
+
+__all__ = ["DagLayer", "LAYER_DAG_BUILDERS"]
+
+#: model name -> (layer-DAG builder kwargs -> OpDag, extra param names)
+LAYER_DAG_BUILDERS = {
+    "va": (lambda **kw: va_layer_dag(), ()),
+    "agnn": (
+        lambda beta=1.0, **kw: agnn_layer_dag(beta=beta),
+        (),
+    ),
+    "gat": (
+        lambda slope=0.2, **kw: gat_layer_dag(slope=slope),
+        ("a_src", "a_dst"),
+    ),
+}
+
+
+@dataclass
+class _DagCache:
+    """Training cache: the joint-program runner plus the contract's ``z``."""
+
+    runner: ProgramRunner
+    z: np.ndarray
+
+
+class DagLayer(GnnLayer):
+    """One A-GNN layer whose backward pass is *derived*, not written.
+
+    Parameters
+    ----------
+    model:
+        ``"va"``, ``"agnn"`` or ``"gat"`` — selects the layer DAG.
+    in_dim, out_dim:
+        Feature dimensions of :math:`W`.
+    activation:
+        Output non-linearity applied outside the DAG (the DAG computes
+        the pre-activation ``Z``; :math:`\\sigma'` masking is the
+        model's job, per Eq. 4/6).
+    mode:
+        Executor mode forwarded to the runner (``"fused"`` for
+        production; ``"tiled"``/``"dense"`` for ablations/tests).
+    beta, slope:
+        AGNN temperature / GAT LeakyReLU slope baked into the DAG.
+    """
+
+    def __init__(
+        self,
+        model: str,
+        in_dim: int,
+        out_dim: int,
+        activation: str = "relu",
+        mode: str = "fused",
+        beta: float = 1.0,
+        slope: float = 0.2,
+        seed: int | np.random.Generator | None = 0,
+        dtype: np.dtype | type = np.float64,
+    ) -> None:
+        super().__init__(activation)
+        if model not in LAYER_DAG_BUILDERS:
+            raise ValueError(
+                f"unknown model {model!r}; expected one of "
+                f"{sorted(LAYER_DAG_BUILDERS)}"
+            )
+        builder, extra = LAYER_DAG_BUILDERS[model]
+        self.model = model
+        self.mode = mode
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        rng = make_rng(seed)
+        self.weight = glorot(rng, (in_dim, out_dim), dtype)
+        if "a_src" in extra:
+            self.a_src = glorot(rng, (out_dim,), dtype)
+            self.a_dst = glorot(rng, (out_dim,), dtype)
+        self._extra = extra
+        forward = builder(beta=beta, slope=slope)
+        wrt = ("H", "W") + extra
+        self.program: GradProgram = build_vjp(forward, wrt, seed_name="dZ")
+
+    # ------------------------------------------------------------------
+    def _bindings(self, a: CSRMatrix, h: np.ndarray) -> dict:
+        inputs = {"A": a, "H": h, "W": self.weight}
+        for name in self._extra:
+            inputs[name] = getattr(self, name)
+        return inputs
+
+    def forward(
+        self,
+        a: CSRMatrix,
+        h: np.ndarray,
+        counter: FlopCounter = null_counter(),
+        training: bool = True,
+    ) -> tuple[np.ndarray, _DagCache | None]:
+        runner = ProgramRunner(
+            self.program.dag, self._bindings(a, h), mode=self.mode
+        )
+        z = runner.run()
+        h_next = self.activation.fn(z)
+        if not training:
+            return h_next, None
+        return h_next, _DagCache(runner=runner, z=z)
+
+    # ------------------------------------------------------------------
+    def backward(
+        self,
+        cache: _DagCache,
+        g: np.ndarray,
+        counter: FlopCounter = null_counter(),
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        runner = cache.runner
+        runner.bind(self.program.seed, np.asarray(g))
+        grads = {
+            name: runner.run(f"grad:{name}")
+            for name in ("W",) + self._extra
+        }
+        dh = runner.run("grad:H")
+        renamed = {"weight": grads.pop("W"), **grads}
+        return dh, renamed
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> dict[str, np.ndarray]:
+        params = {"weight": self.weight}
+        for name in self._extra:
+            params[name] = getattr(self, name)
+        return params
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Full joint-program listing (forward + derived backward)."""
+        return self.program.describe()

@@ -60,7 +60,8 @@ def infer_sparsity(dag: OpDag) -> dict[int, Sparsity]:
                 cls[node.id] = Sparsity.VIRTUAL
             else:
                 cls[node.id] = Sparsity.DENSE
-        elif node.op in ("exp", "leaky_relu", "scale", "reciprocal"):
+        elif node.op in ("exp", "leaky_relu", "leaky_relu_grad", "scale",
+                         "reciprocal"):
             cls[node.id] = in_cls[0]
         elif node.op == "transpose":
             cls[node.id] = in_cls[0]
@@ -69,10 +70,25 @@ def infer_sparsity(dag: OpDag) -> dict[int, Sparsity]:
                 # Tall x tall-transposed: graph-quadratic dense result.
                 cls[node.id] = Sparsity.VIRTUAL
             else:
+                # Includes SpMM/SpMV: a sparse (or transposed-sparse)
+                # first operand with a tall/vector second operand
+                # produces a non-quadratic, materialisable result.
                 cls[node.id] = Sparsity.DENSE
         elif node.op in ("replicate", "replicate_t", "outer"):
-            cls[node.id] = Sparsity.VIRTUAL
-        elif node.op in ("row_sum", "row_norm"):
+            # Graph-quadratic replications are virtual; rank-1 tall
+            # outer products (n x k feature gradients) materialise.
+            cls[node.id] = (
+                Sparsity.VIRTUAL
+                if node.shape_kind == "nn"
+                else Sparsity.DENSE
+            )
+        elif node.op == "sample":
+            if in_cls[0] is Sparsity.DENSE:
+                raise ValueError(
+                    "sample needs a virtual or sparse n x n operand"
+                )
+            cls[node.id] = Sparsity.SPARSE
+        elif node.op in ("row_sum", "col_sum", "row_norm", "row_scale"):
             cls[node.id] = Sparsity.DENSE
         else:  # pragma: no cover - guarded by the builder
             raise ValueError(f"no sparsity rule for op {node.op!r}")

@@ -10,39 +10,28 @@ where ``n`` holds the per-row L2 norms of ``H`` and ``sm`` is the graph
 softmax of Section 4.2. The paper's AGNN keeps :math:`\\beta` fixed
 (:math:`\\partial\\Psi/\\partial W = 0`); set ``learnable_beta=True`` to
 also train the propagation temperature (the original AGNN of
-Thekumparampil et al.).
+Thekumparampil et al.). All aggregation/weight-gradient glue is the
+shared :class:`repro.models.attention.PairwiseAttentionLayer`; only the
+Ψ operator pair lives here.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
 from repro.core.psi import psi_agnn, psi_agnn_vjp
-from repro.models.base import GnnLayer, GnnModel, glorot
+from repro.models.attention import PairwiseAttentionLayer
+from repro.models.base import GnnModel
 from repro.tensor.csr import CSRMatrix
-from repro.tensor.kernels import mm, sddmm_dot, spmm
-from repro.tensor.workspace import workspace
-from repro.util.counters import FlopCounter, null_counter
+from repro.util.counters import FlopCounter
 from repro.util.rng import make_rng
 
 __all__ = ["AGNNLayer", "agnn_model"]
 
 
-@dataclass
-class _AGNNCache:
-    a: CSRMatrix
-    h: np.ndarray
-    s: CSRMatrix
-    psi_cache: Any
-    hp: np.ndarray | None
-    ah: np.ndarray | None
-    z: np.ndarray
-
-
-class AGNNLayer(GnnLayer):
+class AGNNLayer(PairwiseAttentionLayer):
     """One AGNN layer (cosine attention, softmax-normalised).
 
     Parameters mirror :class:`~repro.models.va.VALayer`, plus:
@@ -64,81 +53,28 @@ class AGNNLayer(GnnLayer):
         seed: int | np.random.Generator | None = 0,
         dtype: np.dtype | type = np.float32,
     ) -> None:
-        super().__init__(activation)
-        if order not in ("project_first", "aggregate_first"):
-            raise ValueError("invalid composition order")
-        self.weight = glorot(make_rng(seed), (in_dim, out_dim), dtype)
+        super().__init__(in_dim, out_dim, activation, order, seed, dtype)
         self.beta = np.array(beta, dtype=dtype)
         self.learnable_beta = learnable_beta
-        self.order = order
-        self.in_dim = in_dim
-        self.out_dim = out_dim
 
-    # ------------------------------------------------------------------
-    def forward(
-        self,
-        a: CSRMatrix,
-        h: np.ndarray,
-        counter: FlopCounter = null_counter(),
-        training: bool = True,
-    ) -> tuple[np.ndarray, _AGNNCache | None]:
-        s, psi_cache = psi_agnn(
-            a, h, beta=float(self.beta), counter=counter
-        )
-        hp = ah = None
-        if self.order == "project_first":
-            hp = mm(h, self.weight, counter=counter)
-            z = spmm(s, hp, counter=counter)
-        else:
-            ah = spmm(s, h, counter=counter)
-            z = mm(ah, self.weight, counter=counter)
-        h_next = self.activation.fn(z)
-        if not training:
-            return h_next, None
-        return h_next, _AGNNCache(
-            a=a, h=h, s=s, psi_cache=psi_cache, hp=hp, ah=ah, z=z
-        )
+    def _psi_forward(
+        self, a: CSRMatrix, h: np.ndarray, counter: FlopCounter
+    ) -> tuple[CSRMatrix, Any]:
+        return psi_agnn(a, h, beta=float(self.beta), counter=counter)
 
-    # ------------------------------------------------------------------
-    def backward(
-        self,
-        cache: _AGNNCache,
-        g: np.ndarray,
-        counter: FlopCounter = null_counter(),
+    def _psi_vjp(
+        self, ds: np.ndarray, psi_cache: Any, counter: FlopCounter
     ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
-        s_t = cache.s.transpose()
-        if self.order == "project_first":
-            st_g = spmm(s_t, g, counter=counter)
-            d_weight = mm(cache.h.T, st_g, counter=counter)
-            dh = mm(st_g, self.weight.T, counter=counter)
-            # ds is consumed synchronously by the psi VJP below, so a
-            # pooled scratch vector is safe to hand out as ``out=``.
-            ds = sddmm_dot(
-                cache.a, g, cache.hp, counter=counter,
-                out=workspace(
-                    "model.ds", (cache.a.nnz,), np.result_type(g, cache.hp)
-                ),
-            )
-        else:
-            d_weight = mm(cache.ah.T, g, counter=counter)
-            m = mm(g, self.weight.T, counter=counter)
-            dh = spmm(s_t, m, counter=counter)
-            ds = sddmm_dot(
-                cache.a, m, cache.h, counter=counter,
-                out=workspace(
-                    "model.ds", (cache.a.nnz,), np.result_type(m, cache.h)
-                ),
-            )
-        dh_psi, dbeta = psi_agnn_vjp(ds, cache.psi_cache, counter=counter)
-        dh = dh + dh_psi
-        grads = {"weight": d_weight}
-        if self.learnable_beta:
-            grads["beta"] = np.array(dbeta, dtype=self.beta.dtype)
-        return dh, grads
+        dh_psi, dbeta = psi_agnn_vjp(ds, psi_cache, counter=counter)
+        extra = (
+            {"beta": np.array(dbeta, dtype=self.beta.dtype)}
+            if self.learnable_beta
+            else {}
+        )
+        return dh_psi, extra
 
-    # ------------------------------------------------------------------
     def parameters(self) -> dict[str, np.ndarray]:
-        params = {"weight": self.weight}
+        params = super().parameters()
         if self.learnable_beta:
             params["beta"] = self.beta
         return params

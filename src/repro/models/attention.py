@@ -1,0 +1,156 @@
+"""Shared Ψ/aggregation plumbing for the attentional layers.
+
+VA and AGNN differ *only* in their attention operator: the
+:math:`\\Phi \\circ \\oplus` composition (Section 4.4's
+``project_first`` / ``aggregate_first`` orders), the weight gradient
+:math:`Y = H^T \\Psi^T G` (Eq. 13) and the score-gradient SDDMM
+:math:`dS = \\mathcal{A} \\odot (\\cdot\\,\\cdot^T)` (Eq. 9) are
+identical. :class:`PairwiseAttentionLayer` owns that glue once;
+subclasses plug in the Ψ forward/VJP pair from :mod:`repro.core.psi`
+(the hand-fused fast path). The same structure is what
+:class:`repro.fusion.layer.DagLayer` derives automatically from the IR
+— the two implementations are tested against each other.
+
+:func:`score_gradient` is the one Eq.-9 kernel every attentional
+backward (including GAT's) starts from; it hands out a pooled scratch
+vector because the result is always consumed synchronously by the Ψ
+VJP that follows.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.models.base import GnnLayer, glorot
+from repro.tensor.csr import CSRMatrix
+from repro.tensor.kernels import mm, sddmm_dot, spmm
+from repro.tensor.workspace import workspace
+from repro.util.counters import FlopCounter, null_counter
+from repro.util.rng import make_rng
+
+__all__ = ["PairwiseAttentionLayer", "PairAttentionCache", "score_gradient"]
+
+
+def score_gradient(
+    a: CSRMatrix,
+    left: np.ndarray,
+    right: np.ndarray,
+    counter: FlopCounter = null_counter(),
+) -> np.ndarray:
+    """Eq. 9: :math:`dS = \\mathcal{A} \\odot (L R^T)` edge values.
+
+    One SDDMM into a pooled scratch vector — safe because every caller
+    consumes ``dS`` synchronously in the Ψ VJP that follows.
+    """
+    return sddmm_dot(
+        a, left, right, counter=counter,
+        out=workspace("model.ds", (a.nnz,), np.result_type(left, right)),
+    )
+
+
+@dataclass
+class PairAttentionCache:
+    """Forward intermediates shared by VA and AGNN layers."""
+
+    a: CSRMatrix
+    h: np.ndarray
+    s: CSRMatrix
+    psi_cache: Any
+    hp: np.ndarray | None  # H W  (project_first)
+    ah: np.ndarray | None  # S H  (aggregate_first)
+    z: np.ndarray
+
+
+class PairwiseAttentionLayer(GnnLayer):
+    """Base for attention layers whose Ψ depends on ``H`` alone.
+
+    Owns the weight matrix, the :math:`\\Phi \\circ \\oplus` composition
+    order and the full backward chaining (Eqs. 9–13); subclasses
+    implement the Ψ operator pair:
+
+    * :meth:`_psi_forward` — scores + VJP cache,
+    * :meth:`_psi_vjp` — feature-gradient contribution plus any extra
+      parameter gradients (e.g. AGNN's ``beta``).
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: str,
+        order: str,
+        seed: int | np.random.Generator | None,
+        dtype: np.dtype | type,
+    ) -> None:
+        super().__init__(activation)
+        if order not in ("project_first", "aggregate_first"):
+            raise ValueError("invalid composition order")
+        self.weight = glorot(make_rng(seed), (in_dim, out_dim), dtype)
+        self.order = order
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+
+    # -- the Ψ plug-in points ------------------------------------------
+    @abstractmethod
+    def _psi_forward(
+        self, a: CSRMatrix, h: np.ndarray, counter: FlopCounter
+    ) -> tuple[CSRMatrix, Any]:
+        """Attention scores ``S`` plus the Ψ-VJP cache."""
+
+    @abstractmethod
+    def _psi_vjp(
+        self, ds: np.ndarray, psi_cache: Any, counter: FlopCounter
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Feature gradient through Ψ and extra parameter grads."""
+
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        a: CSRMatrix,
+        h: np.ndarray,
+        counter: FlopCounter = null_counter(),
+        training: bool = True,
+    ) -> tuple[np.ndarray, PairAttentionCache | None]:
+        s, psi_cache = self._psi_forward(a, h, counter)
+        hp = ah = None
+        if self.order == "project_first":
+            hp = mm(h, self.weight, counter=counter)
+            z = spmm(s, hp, counter=counter)
+        else:
+            ah = spmm(s, h, counter=counter)
+            z = mm(ah, self.weight, counter=counter)
+        h_next = self.activation.fn(z)
+        if not training:
+            return h_next, None
+        return h_next, PairAttentionCache(
+            a=a, h=h, s=s, psi_cache=psi_cache, hp=hp, ah=ah, z=z
+        )
+
+    # ------------------------------------------------------------------
+    def backward(
+        self,
+        cache: PairAttentionCache,
+        g: np.ndarray,
+        counter: FlopCounter = null_counter(),
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        s_t = cache.s.transpose()
+        if self.order == "project_first":
+            st_g = spmm(s_t, g, counter=counter)
+            d_weight = mm(cache.h.T, st_g, counter=counter)
+            dh = mm(st_g, self.weight.T, counter=counter)
+            ds = score_gradient(cache.a, g, cache.hp, counter=counter)
+        else:
+            d_weight = mm(cache.ah.T, g, counter=counter)
+            m = mm(g, self.weight.T, counter=counter)
+            dh = spmm(s_t, m, counter=counter)
+            ds = score_gradient(cache.a, m, cache.h, counter=counter)
+        dh_psi, extra = self._psi_vjp(ds, cache.psi_cache, counter)
+        return dh + dh_psi, {"weight": d_weight, **extra}
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> dict[str, np.ndarray]:
+        return {"weight": self.weight}

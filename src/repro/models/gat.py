@@ -30,10 +30,10 @@ from typing import Any
 import numpy as np
 
 from repro.core.psi import psi_gat, psi_gat_vjp
+from repro.models.attention import score_gradient
 from repro.models.base import GnnLayer, GnnModel, glorot
 from repro.tensor.csr import CSRMatrix
-from repro.tensor.kernels import mm, sddmm_dot, spmm
-from repro.tensor.workspace import workspace
+from repro.tensor.kernels import mm, spmm
 from repro.util.counters import FlopCounter, null_counter
 from repro.util.rng import make_rng
 
@@ -111,15 +111,8 @@ class GATLayer(GnnLayer):
         g: np.ndarray,
         counter: FlopCounter = null_counter(),
     ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
-        # dS: gradient of Z = S H' w.r.t. S's stored values, one SDDMM.
-        # Consumed synchronously by the psi VJP, so a pooled scratch
-        # vector is safe to hand out as ``out=``.
-        ds = sddmm_dot(
-            cache.a, g, cache.hp, counter=counter,
-            out=workspace(
-                "model.ds", (cache.a.nnz,), np.result_type(g, cache.hp)
-            ),
-        )
+        # dS: gradient of Z = S H' w.r.t. S's stored values (Eq. 9).
+        ds = score_gradient(cache.a, g, cache.hp, counter=counter)
         dhp_psi, da_src, da_dst = psi_gat_vjp(ds, cache.psi_cache, counter=counter)
         # Two paths into H': aggregation (S^T G) and attention (rank-1s).
         dhp = spmm(cache.s.transpose(), g, counter=counter) + dhp_psi

@@ -11,39 +11,28 @@ Backward (Eq. 11–13), in this module's notation with
 .. math:: \\Gamma = N_+ H + \\Psi^T M, \\qquad
           Y = H^T \\Psi^T G
 
-The :math:`N_+ H` term is :func:`repro.core.psi.psi_va_vjp`.
+The :math:`N_+ H` term is :func:`repro.core.psi.psi_va_vjp`; the rest
+of the chaining (composition order, Eq. 13, Eq. 9's SDDMM) is the
+shared :class:`repro.models.attention.PairwiseAttentionLayer` glue.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
 from repro.core.psi import psi_va, psi_va_vjp
-from repro.models.base import GnnLayer, GnnModel, glorot
+from repro.models.attention import PairwiseAttentionLayer
+from repro.models.base import GnnModel
 from repro.tensor.csr import CSRMatrix
-from repro.tensor.kernels import mm, sddmm_dot, spmm
-from repro.tensor.workspace import workspace
-from repro.util.counters import FlopCounter, null_counter
+from repro.util.counters import FlopCounter
 from repro.util.rng import make_rng
 
 __all__ = ["VALayer", "va_model"]
 
 
-@dataclass
-class _VACache:
-    a: CSRMatrix
-    h: np.ndarray
-    s: CSRMatrix
-    psi_cache: Any
-    hp: np.ndarray | None  # H W  (project_first)
-    ah: np.ndarray | None  # S H  (aggregate_first)
-    z: np.ndarray
-
-
-class VALayer(GnnLayer):
+class VALayer(PairwiseAttentionLayer):
     """One VA layer :math:`\\sigma((\\mathcal{A} \\odot H H^T)\\, H W)`.
 
     Parameters
@@ -69,74 +58,17 @@ class VALayer(GnnLayer):
         seed: int | np.random.Generator | None = 0,
         dtype: np.dtype | type = np.float32,
     ) -> None:
-        super().__init__(activation)
-        if order not in ("project_first", "aggregate_first"):
-            raise ValueError("invalid composition order")
-        self.weight = glorot(make_rng(seed), (in_dim, out_dim), dtype)
-        self.order = order
-        self.in_dim = in_dim
-        self.out_dim = out_dim
+        super().__init__(in_dim, out_dim, activation, order, seed, dtype)
 
-    # ------------------------------------------------------------------
-    def forward(
-        self,
-        a: CSRMatrix,
-        h: np.ndarray,
-        counter: FlopCounter = null_counter(),
-        training: bool = True,
-    ) -> tuple[np.ndarray, _VACache | None]:
-        s, psi_cache = psi_va(a, h, counter=counter)
-        hp = ah = None
-        if self.order == "project_first":
-            hp = mm(h, self.weight, counter=counter)
-            z = spmm(s, hp, counter=counter)
-        else:
-            ah = spmm(s, h, counter=counter)
-            z = mm(ah, self.weight, counter=counter)
-        h_next = self.activation.fn(z)
-        if not training:
-            return h_next, None
-        return h_next, _VACache(
-            a=a, h=h, s=s, psi_cache=psi_cache, hp=hp, ah=ah, z=z
-        )
+    def _psi_forward(
+        self, a: CSRMatrix, h: np.ndarray, counter: FlopCounter
+    ) -> tuple[CSRMatrix, Any]:
+        return psi_va(a, h, counter=counter)
 
-    # ------------------------------------------------------------------
-    def backward(
-        self,
-        cache: _VACache,
-        g: np.ndarray,
-        counter: FlopCounter = null_counter(),
+    def _psi_vjp(
+        self, ds: np.ndarray, psi_cache: Any, counter: FlopCounter
     ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
-        s = cache.s
-        s_t = s.transpose()
-        if self.order == "project_first":
-            st_g = spmm(s_t, g, counter=counter)
-            d_weight = mm(cache.h.T, st_g, counter=counter)
-            dh = mm(st_g, self.weight.T, counter=counter)
-            # ds is consumed synchronously by the psi VJP below, so a
-            # pooled scratch vector is safe to hand out as ``out=``.
-            ds = sddmm_dot(
-                cache.a, g, cache.hp, counter=counter,
-                out=workspace(
-                    "model.ds", (cache.a.nnz,), np.result_type(g, cache.hp)
-                ),
-            )
-        else:
-            d_weight = mm(cache.ah.T, g, counter=counter)
-            m = mm(g, self.weight.T, counter=counter)
-            dh = spmm(s_t, m, counter=counter)
-            ds = sddmm_dot(
-                cache.a, m, cache.h, counter=counter,
-                out=workspace(
-                    "model.ds", (cache.a.nnz,), np.result_type(m, cache.h)
-                ),
-            )
-        dh = dh + psi_va_vjp(ds, cache.psi_cache, counter=counter)
-        return dh, {"weight": d_weight}
-
-    # ------------------------------------------------------------------
-    def parameters(self) -> dict[str, np.ndarray]:
-        return {"weight": self.weight}
+        return psi_va_vjp(ds, psi_cache, counter=counter), {}
 
 
 def va_model(

@@ -158,11 +158,16 @@ class TestExecution:
         )
         assert np.allclose(out.data, reference.data, atol=1e-9)
 
-    def test_tile_size_invariance(self, graph_inputs):
-        a, h, *_ = graph_inputs
+    @pytest.mark.parametrize(
+        "builder", [va_psi_dag, agnn_psi_dag, gat_psi_dag]
+    )
+    def test_tile_size_invariance(self, graph_inputs, builder):
+        a, h, w, a_src, a_dst = graph_inputs
+        inputs = {"H": h, "A": a}
+        if builder is gat_psi_dag:
+            inputs.update({"W": w, "a_src": a_src, "a_dst": a_dst})
         outs = [
-            execute(agnn_psi_dag(), {"H": h, "A": a}, mode="tiled",
-                    tile_rows=t).data
+            execute(builder(), inputs, mode="tiled", tile_rows=t).data
             for t in (1, 7, 64, 1000)
         ]
         for other in outs[1:]:

@@ -14,7 +14,6 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import emit
 from repro.bench.harness import make_graph
 from repro.fusion import agnn_psi_dag, execute, fuse, gat_psi_dag, va_psi_dag
 

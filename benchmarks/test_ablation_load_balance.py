@@ -12,7 +12,6 @@ Figure 8.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.bench.harness import run_config

@@ -19,11 +19,14 @@ Reproduced claims (asserted):
 
 from __future__ import annotations
 
-import numpy as np
+import json
+import os
+
 import pytest
 
-from benchmarks.conftest import by, emit, run_point, sweep_benchmark
+from benchmarks.conftest import RESULTS_DIR, by, emit, run_point, sweep_benchmark
 from repro.bench.configs import FIGURE_CONFIGS
+from repro.bench.strong_scaling import MEDIUM_ER, measure_strong_scaling
 
 
 def _sweep(config_name: str):
@@ -109,3 +112,66 @@ def test_fig6_k128(sweep_benchmark):
     # Communication volume grows with k: k=128 rows must move more data
     # than any k=16 row at the same (n, p).
     assert min(r.comm_words for r in rows if r.p == 16) > 0
+
+
+def test_fig6_process_backend_measured(sweep_benchmark):
+    """Measured (not modeled) strong scaling on the process backend.
+
+    The figure sweeps above report *modeled* time from exact traffic
+    accounting. This point runs the medium-ER configuration on real OS
+    processes and records measured epoch-loop seconds and the p=4 vs
+    p=1 speedup into ``fig6_process_backend.json``. The speedup is
+    recorded, not gated: it depends on the host's core count (a 1-core
+    CI runner time-slices the ranks, so only multi-core hosts can show
+    speedup > 1), whereas the correctness of the numbers does not —
+    losses must be identical across p and match the thread backend.
+    """
+    rows = sweep_benchmark(
+        lambda: measure_strong_scaling(
+            model_name="AGNN", backend="process", p_list=(1, 4)
+        )
+    )
+
+    header = (
+        f"{'backend':<8} {'p':>3} {'n':>6} {'k':>4} "
+        f"{'train_s':>10} {'speedup':>8} {'comm_words':>11}"
+    )
+    print()
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        speedup = row["speedup_vs_p1"]
+        print(
+            f"{row['backend']:<8} {row['p']:>3} {row['n']:>6} "
+            f"{row['k']:>4} {row['train_s']:>10.4f} "
+            f"{speedup:>8.3f} {row['comm_words']:>11}"
+        )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "figure": "fig6_process_backend",
+        "config": MEDIUM_ER,
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "measured wall-clock of the epoch loop on spawned process "
+            "ranks; speedup_vs_p1 > 1 requires cpu_count >= p"
+        ),
+        "rows": rows,
+    }
+    with open(RESULTS_DIR / "fig6_process_backend.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+
+    # Correctness is gated; speed is recorded.
+    assert all(row["backend"] == "process" for row in rows)
+    assert all(row["train_s"] > 0 for row in rows)
+    first_losses = {row["first_loss"] for row in rows}
+    assert len(first_losses) == 1, "loss must not depend on p"
+    thread_row = measure_strong_scaling(
+        model_name="AGNN", backend="thread", p_list=(4,)
+    )[0]
+    assert thread_row["first_loss"] in first_losses, (
+        "process and thread backends must agree numerically"
+    )
+    assert thread_row["comm_words"] == next(
+        row["comm_words"] for row in rows if row["p"] == 4
+    ), "byte accounting must be transport-independent"

@@ -27,7 +27,6 @@ the theory-bearing observables and both reproduce.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import by, emit, run_point, sweep_benchmark

@@ -17,7 +17,6 @@ Reproduced claims (asserted):
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import by, emit, run_point, sweep_benchmark
 from repro.bench.configs import FIGURE_CONFIGS

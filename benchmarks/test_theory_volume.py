@@ -19,7 +19,7 @@ import pytest
 
 from benchmarks.conftest import emit, sweep_benchmark
 from repro.baselines.dist_local import dist_local_inference
-from repro.bench.harness import BenchRow, make_graph, run_config
+from repro.bench.harness import make_graph, run_config
 from repro.theory import exact_local_halo_words
 
 

@@ -27,7 +27,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines.message_passing import LocalGraph
 from repro.core.activations import (
     get_activation,
     leaky_relu,
@@ -46,7 +45,6 @@ from repro.tensor.segment import (
     segment_softmax,
     segment_sum,
 )
-from repro.util.counters import null_counter
 from repro.util.rng import make_rng
 
 __all__ = ["dist_local_inference", "dist_local_train", "LocalPartition"]

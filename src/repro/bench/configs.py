@@ -17,7 +17,7 @@ Scaling map (paper → default here):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["FigureConfig", "FIGURE_CONFIGS", "scaled_figure"]
 

@@ -11,6 +11,12 @@ and its gradient on its own feature block only, with the global
 normaliser (labelled-vertex count) and the scalar loss reduced across
 ranks — matching the numerics of the single-node trainer exactly, which
 the equivalence tests assert.
+
+The rank programs are module-level functions (not closures) so the
+same entry points run unchanged on the process-parallel backend:
+``distributed_inference(..., backend="process")`` spawns real OS
+processes, and the ``REPRO_FABRIC_BACKEND`` environment variable flips
+a whole test run without touching call sites.
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.distributed.model import DistGnnModel, build_dist_model
+from repro.distributed.model import build_dist_model
 from repro.distributed.partition import (
     block_range,
     collect_feature_blocks,
@@ -91,6 +97,37 @@ def _loss_denominator(loss: str, mask: np.ndarray | None, n: int,
     return count if loss == "ce" else count * out_dim
 
 
+def _inference_program(
+    comm,
+    model_name: str,
+    a: CSRMatrix,
+    features: np.ndarray,
+    hidden_dim: int,
+    out_dim: int,
+    num_layers: int,
+    seed: int,
+    dtype,
+    layer_kwargs: dict,
+):
+    """SPMD rank program for :func:`distributed_inference`.
+
+    Module-level (not a closure) so the spawn-based process backend can
+    pickle it by reference; every argument after ``comm`` arrives via
+    ``run_spmd`` kwargs, identical on all ranks.
+    """
+    grid = square_grid(comm)
+    a_block = distribute_adjacency(a, grid)
+    h_block = distribute_features(features, grid)
+    model = build_dist_model(
+        grid, model_name, features.shape[1], hidden_dim, out_dim,
+        num_layers=num_layers, seed=seed, dtype=dtype, **layer_kwargs,
+    )
+    out_block = model.forward(
+        a_block, h_block, counter=comm.stats.flops, training=False
+    )
+    return collect_feature_blocks(grid, out_block)
+
+
 def distributed_inference(
     model_name: str,
     a: CSRMatrix,
@@ -102,31 +139,82 @@ def distributed_inference(
     seed: int = 0,
     dtype: np.dtype | type = np.float32,
     timeout: float = 120.0,
+    backend: str | None = None,
     **layer_kwargs,
 ) -> DistributedResult:
     """Run a full inference pass on ``p`` simulated ranks.
 
     ``p`` must be a perfect square (the Section-7 grid). Returns the
     assembled output features and the run's traffic statistics.
+    ``backend`` selects the execution fabric (thread/process); see
+    :func:`repro.runtime.executor.run_spmd`.
     """
-
-    def program(comm):
-        grid = square_grid(comm)
-        a_block = distribute_adjacency(a, grid)
-        h_block = distribute_features(features, grid)
-        model = build_dist_model(
-            grid, model_name, features.shape[1], hidden_dim, out_dim,
-            num_layers=num_layers, seed=seed, dtype=dtype, **layer_kwargs,
-        )
-        out_block = model.forward(
-            a_block, h_block, counter=comm.stats.flops, training=False
-        )
-        return collect_feature_blocks(grid, out_block)
-
-    result = run_spmd(p, program, timeout=timeout)
+    result = run_spmd(
+        p, _inference_program, timeout=timeout, backend=backend,
+        model_name=model_name, a=a, features=features,
+        hidden_dim=hidden_dim, out_dim=out_dim, num_layers=num_layers,
+        seed=seed, dtype=dtype, layer_kwargs=layer_kwargs,
+    )
     return DistributedResult(
         output=result.values[0], losses=[], stats=result.stats
     )
+
+
+def _training_program(
+    comm,
+    model_name: str,
+    a: CSRMatrix,
+    features: np.ndarray,
+    labels: np.ndarray,
+    hidden_dim: int,
+    out_dim: int,
+    num_layers: int,
+    epochs: int,
+    lr: float,
+    loss: str,
+    mask: np.ndarray | None,
+    seed: int,
+    dtype,
+    collect_output: bool,
+    denom: int,
+    layer_kwargs: dict,
+):
+    """SPMD rank program for :func:`distributed_train` (module-level,
+    picklable — see :func:`_inference_program`)."""
+    n = features.shape[0]
+    grid = square_grid(comm)
+    a_block = distribute_adjacency(a, grid)
+    h_block = distribute_features(features, grid)
+    c0, c1 = block_range(n, grid.py, grid.col)
+    labels_block = labels[c0:c1]
+    mask_block = None if mask is None else mask[c0:c1]
+    model = build_dist_model(
+        grid, model_name, features.shape[1], hidden_dim, out_dim,
+        num_layers=num_layers, seed=seed, dtype=dtype, **layer_kwargs,
+    )
+    losses: list[float] = []
+    out_block = None
+    for _epoch in range(epochs):
+        out_block = model.forward(
+            a_block, h_block, counter=comm.stats.flops, training=True
+        )
+        global_count = denom if loss == "ce" else denom // out_dim
+        local_sum, grad_block = _block_loss_gradient(
+            loss, out_block, labels_block, mask_block, global_count
+        )
+        # Feature blocks are replicated down grid columns; count each
+        # block's loss contribution exactly once (grid row 0).
+        contribution = local_sum if grid.row == 0 else 0.0
+        losses.append(
+            float(grid.comm.allreduce(np.array(contribution))) / denom
+        )
+        grads = model.backward(grad_block, counter=comm.stats.flops)
+        model.apply_gradients(grads, lr)
+    model.zero_caches()
+    collected = (
+        collect_feature_blocks(grid, out_block) if collect_output else None
+    )
+    return losses, collected
 
 
 def distributed_train(
@@ -146,6 +234,7 @@ def distributed_train(
     dtype: np.dtype | type = np.float32,
     timeout: float = 300.0,
     collect_output: bool = True,
+    backend: str | None = None,
     **layer_kwargs,
 ) -> DistributedResult:
     """Full-batch distributed training for ``epochs`` iterations.
@@ -153,47 +242,19 @@ def distributed_train(
     Each epoch is one forward + backward pass plus a replicated SGD
     step — the paper's measured training unit. Returns the per-epoch
     losses, the final output features (assembled at rank 0 when
-    ``collect_output``) and traffic statistics.
+    ``collect_output``) and traffic statistics. ``backend`` selects the
+    execution fabric (thread/process).
     """
     n = features.shape[0]
     denom = _loss_denominator(loss, mask, n, out_dim)
-
-    def program(comm):
-        grid = square_grid(comm)
-        a_block = distribute_adjacency(a, grid)
-        h_block = distribute_features(features, grid)
-        c0, c1 = block_range(n, grid.py, grid.col)
-        labels_block = labels[c0:c1]
-        mask_block = None if mask is None else mask[c0:c1]
-        model = build_dist_model(
-            grid, model_name, features.shape[1], hidden_dim, out_dim,
-            num_layers=num_layers, seed=seed, dtype=dtype, **layer_kwargs,
-        )
-        losses: list[float] = []
-        out_block = None
-        for _epoch in range(epochs):
-            out_block = model.forward(
-                a_block, h_block, counter=comm.stats.flops, training=True
-            )
-            global_count = denom if loss == "ce" else denom // out_dim
-            local_sum, grad_block = _block_loss_gradient(
-                loss, out_block, labels_block, mask_block, global_count
-            )
-            # Feature blocks are replicated down grid columns; count each
-            # block's loss contribution exactly once (grid row 0).
-            contribution = local_sum if grid.row == 0 else 0.0
-            losses.append(
-                float(grid.comm.allreduce(np.array(contribution))) / denom
-            )
-            grads = model.backward(grad_block, counter=comm.stats.flops)
-            model.apply_gradients(grads, lr)
-        model.zero_caches()
-        collected = (
-            collect_feature_blocks(grid, out_block) if collect_output else None
-        )
-        return losses, collected
-
-    result = run_spmd(p, program, timeout=timeout)
+    result = run_spmd(
+        p, _training_program, timeout=timeout, backend=backend,
+        model_name=model_name, a=a, features=features, labels=labels,
+        hidden_dim=hidden_dim, out_dim=out_dim, num_layers=num_layers,
+        epochs=epochs, lr=lr, loss=loss, mask=mask, seed=seed, dtype=dtype,
+        collect_output=collect_output, denom=denom,
+        layer_kwargs=layer_kwargs,
+    )
     losses, output = result.values[0]
     return DistributedResult(output=output, losses=losses, stats=result.stats)
 

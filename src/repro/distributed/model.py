@@ -7,6 +7,12 @@ layers (each layer ends with the reduce+redistribute, so no extra
 :math:`G^{l-1} = \\sigma'(Z^{l-1}) \\odot \\Gamma^l` exactly as in the
 single-node model, on blocks. Because parameters and their gradients
 are replicated, the optimiser step runs identically on every rank.
+
+Backend note: construct the model *inside* the rank function (layers
+hold per-rank state and communicator references, neither of which may
+cross a process boundary). Only the rank function and its kwargs are
+pickled for the process backend — the model itself never is, so this
+class works unchanged on both the thread and the process fabric.
 """
 
 from __future__ import annotations

@@ -152,7 +152,6 @@ def distributed_semiring_aggregate(
     single-node path.
     """
     from repro.tensor.kernels import spmm as _spmm
-    from repro.tensor.semiring import REAL
 
     if semiring.pair_valued:
         raise NotImplementedError(

@@ -30,7 +30,6 @@ import numpy as np
 from repro.core.activations import Activation, get_activation
 from repro.tensor.csr import CSRMatrix
 from repro.util.counters import FlopCounter, null_counter
-from repro.util.rng import make_rng
 
 __all__ = ["GnnLayer", "GnnModel", "Loss", "glorot"]
 

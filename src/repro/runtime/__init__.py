@@ -4,8 +4,11 @@ The paper runs on Piz Daint with mpi4py; this environment has neither a
 cluster nor MPI, so the distributed algorithms run on a *simulated*
 cluster instead (see DESIGN.md's substitution table):
 
-* :mod:`repro.runtime.fabric` — an in-process message fabric with
-  per-``(src, dst, tag)`` mailboxes; ranks are Python threads.
+* :mod:`repro.runtime.fabric` — the fabric interface plus the
+  in-process backend: per-``(src, dst, tag)`` mailboxes, ranks are
+  Python threads.
+* :mod:`repro.runtime.process_fabric` — the process-parallel backend:
+  spawned ranks, shared-memory array transfer, child-crash detection.
 * :mod:`repro.runtime.communicator` — an mpi4py-flavoured communicator
   (``send``/``recv``/``bcast``/``reduce``/``allreduce``/``allgather``/
   ``alltoall``/``reduce_scatter``/``split``) whose collectives use real
@@ -18,7 +21,8 @@ cluster instead (see DESIGN.md's substitution table):
   converting the accounting into modeled execution time, which is the
   quantity the scaling figures plot.
 * :mod:`repro.runtime.executor` — the SPMD launcher running one thread
-  per rank and propagating failures.
+  or process per rank (``run_spmd(..., backend=...)``) and propagating
+  failures.
 * :mod:`repro.runtime.grid` — the 2D ``Px x Py`` cartesian process
   grid with row/column sub-communicators (Section 6.3).
 """
@@ -26,12 +30,21 @@ cluster instead (see DESIGN.md's substitution table):
 from repro.runtime.communicator import Communicator
 from repro.runtime.costmodel import CostModel, MachineParams
 from repro.runtime.executor import SpmdResult, run_spmd
-from repro.runtime.fabric import Fabric
+from repro.runtime.fabric import (
+    Fabric,
+    FabricTimeoutError,
+    ThreadFabric,
+)
 from repro.runtime.grid import ProcessGrid, square_grid
+from repro.runtime.process_fabric import ProcessBackendError, ProcessFabric
 from repro.runtime.stats import CommStats, RunStats
 
 __all__ = [
     "Fabric",
+    "ThreadFabric",
+    "ProcessFabric",
+    "FabricTimeoutError",
+    "ProcessBackendError",
     "Communicator",
     "CommStats",
     "RunStats",

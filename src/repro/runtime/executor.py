@@ -1,26 +1,55 @@
-"""SPMD launcher: one thread per simulated rank.
+"""SPMD launcher: one thread or one process per simulated rank.
 
-``run_spmd(p, fn, ...)`` builds a fabric, spawns ``p`` threads each
+``run_spmd(p, fn, ...)`` builds a fabric, runs ``p`` ranks each
 executing ``fn(comm, **kwargs)``, joins them, propagates the first
 failure (aborting the fabric so no rank hangs), and returns every
 rank's return value together with the aggregated traffic statistics.
 
-NumPy releases the GIL inside its kernels, so ranks overlap on real
-cores; correctness never depends on it, because all synchronisation
-goes through the fabric.
+Two execution backends share this entry point:
+
+``backend="thread"``
+    Ranks are Python threads over the in-process
+    :class:`~repro.runtime.fabric.ThreadFabric`. NumPy releases the GIL
+    inside its kernels, so ranks overlap on real cores, but pure-Python
+    stretches serialise — communication *cost* is exact, wall-clock
+    scaling is not.
+
+``backend="process"``
+    Ranks are spawned processes over the
+    :class:`~repro.runtime.process_fabric.ProcessFabric`; large arrays
+    move through shared memory. Real wall-clock parallelism, identical
+    byte accounting; requires ``fn`` and its kwargs to be picklable
+    (module-level functions, not closures).
+
+``backend=None`` consults the ``REPRO_FABRIC_BACKEND`` environment
+variable (values ``thread``/``process``), defaulting to ``thread``.
+Because the env override is a blanket switch over test suites that
+also contain closure-based thread programs, it is best-effort: an
+unpicklable program silently stays on threads (the chosen backend is
+reported in :attr:`SpmdResult.backend`). Passing ``backend="process"``
+explicitly is strict and raises
+:class:`~repro.runtime.process_fabric.ProcessBackendError` instead.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.runtime.communicator import Communicator
-from repro.runtime.fabric import Fabric
+from repro.runtime.fabric import FabricTimeoutError, ThreadFabric
 from repro.runtime.stats import CommStats, RunStats
 
-__all__ = ["run_spmd", "SpmdResult"]
+__all__ = ["run_spmd", "SpmdResult", "BACKEND_ENV_VAR"]
+
+#: Environment variable consulted when ``run_spmd(backend=None)``.
+BACKEND_ENV_VAR = "REPRO_FABRIC_BACKEND"
+
+_VALID_BACKENDS = ("thread", "process")
 
 
 @dataclass
@@ -29,6 +58,31 @@ class SpmdResult:
 
     values: list[Any]
     stats: RunStats
+    #: Which fabric actually ran: ``"thread"`` or ``"process"``.
+    backend: str = "thread"
+
+
+def _spmd_picklable(fn: Callable[..., Any], kwargs: dict[str, Any]) -> bool:
+    """Whether (fn, kwargs) survive the spawn pickling round-trip."""
+    try:
+        pickle.dumps((fn, kwargs), protocol=pickle.HIGHEST_PROTOCOL)
+        return True
+    except Exception:
+        return False
+
+
+def _resolve_backend(backend: str | None) -> tuple[str, bool]:
+    """Resolve the backend name; returns ``(name, explicit)``."""
+    explicit = backend is not None
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR, "").strip().lower() or "thread"
+    if backend not in _VALID_BACKENDS:
+        source = "backend argument" if explicit else f"${BACKEND_ENV_VAR}"
+        raise ValueError(
+            f"unknown fabric backend {backend!r} (from {source}); "
+            f"use one of {_VALID_BACKENDS}"
+        )
+    return backend, explicit
 
 
 def run_spmd(
@@ -36,6 +90,7 @@ def run_spmd(
     fn: Callable[..., Any],
     timeout: float = 120.0,
     trace: bool = False,
+    backend: str | None = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Execute ``fn(comm, **kwargs)`` on ``size`` simulated ranks.
@@ -47,21 +102,47 @@ def run_spmd(
     fn:
         The rank program; receives its :class:`Communicator` as the
         first argument. All ranks get identical ``kwargs`` (SPMD) —
-        rank-dependent behaviour keys off ``comm.rank``.
+        rank-dependent behaviour keys off ``comm.rank``. Under the
+        process backend, ``fn`` and ``kwargs`` must be picklable.
     timeout:
         Fabric deadlock guard in seconds.
     trace:
         Record a chronological send trace per rank (see
         :mod:`repro.runtime.trace`) for debugging new operators.
+    backend:
+        ``"thread"``, ``"process"``, or ``None`` to consult the
+        ``REPRO_FABRIC_BACKEND`` environment variable (default thread).
 
     Returns
     -------
-    :class:`SpmdResult` with per-rank return values (rank order) and
-    traffic statistics.
+    :class:`SpmdResult` with per-rank return values (rank order),
+    traffic statistics, and the backend that actually ran.
     """
     if size < 1:
         raise ValueError("need at least one rank")
-    fabric = Fabric(size, timeout=timeout)
+    resolved, explicit = _resolve_backend(backend)
+    if resolved == "process":
+        from repro.runtime.process_fabric import run_process_spmd
+
+        if explicit or _spmd_picklable(fn, kwargs):
+            return run_process_spmd(
+                size, fn, timeout=timeout, trace=trace, **kwargs
+            )
+        # Env-derived override over a closure-based program: stay on
+        # threads rather than failing a suite-wide sweep.
+        resolved = "thread"
+    return _run_thread_spmd(size, fn, timeout=timeout, trace=trace, **kwargs)
+
+
+def _run_thread_spmd(
+    size: int,
+    fn: Callable[..., Any],
+    timeout: float = 120.0,
+    trace: bool = False,
+    **kwargs: Any,
+) -> SpmdResult:
+    """The original in-process backend: one thread per rank."""
+    fabric = ThreadFabric(size, timeout=timeout)
     all_stats = [CommStats(rank, trace=trace) for rank in range(size)]
     values: list[Any] = [None] * size
     errors: list[tuple[int, BaseException]] = []
@@ -70,7 +151,9 @@ def run_spmd(
     def worker(rank: int) -> None:
         comm = Communicator(fabric, rank, all_stats[rank])
         try:
+            start = time.perf_counter()
             values[rank] = fn(comm, **kwargs)
+            all_stats[rank].wall_s = time.perf_counter() - start
         except BaseException as exc:  # noqa: BLE001 - propagated below
             with error_lock:
                 errors.append((rank, exc))
@@ -88,9 +171,9 @@ def run_spmd(
     if errors:
         # Prefer the root cause: a rank that failed on its own, not one
         # unblocked by the fabric abort after someone else had failed.
-        from repro.runtime.fabric import FabricTimeoutError
-
         primary = [e for e in errors if not isinstance(e[1], FabricTimeoutError)]
         rank, exc = min(primary or errors, key=lambda item: item[0])
         raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
-    return SpmdResult(values=values, stats=RunStats(per_rank=all_stats))
+    return SpmdResult(
+        values=values, stats=RunStats(per_rank=all_stats), backend="thread"
+    )

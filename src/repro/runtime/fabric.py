@@ -1,12 +1,23 @@
-"""In-process message fabric backing the simulated MPI ranks.
+"""Message fabrics backing the simulated MPI ranks.
 
-Each simulated rank is a Python thread; messages are NumPy arrays (or
-arbitrary payloads) deposited into per-``(src, dst, tag)`` mailboxes.
-Blocking ``recv`` waits on a condition variable, so rank interleaving
-is handled by the OS scheduler exactly as in a real multi-process MPI
-job — with the obvious difference that "transfer" is a reference hand-
-off. Communication *cost* is therefore accounted separately (see
-:mod:`repro.runtime.stats`), not timed.
+A *fabric* is the transport layer underneath the
+:class:`~repro.runtime.communicator.Communicator`: per-``(src, dst,
+tag)`` mailboxes with blocking receives, a global barrier, and abort
+propagation so one failing rank unblocks everyone else. Two backends
+implement the interface:
+
+* :class:`ThreadFabric` (this module) — ranks are Python threads and a
+  "transfer" is a reference hand-off guarded by a condition variable.
+  Cheap, zero-copy, but the GIL serialises pure-Python compute.
+* :class:`~repro.runtime.process_fabric.ProcessFabric` — ranks are
+  spawned processes; large arrays travel through POSIX shared memory
+  and everything else over multiprocessing queues. Real parallelism,
+  at the price of serialisation and process start-up.
+
+Communication *cost* is accounted separately (see
+:mod:`repro.runtime.stats`) and identically on both backends, because
+the communicator's collective algorithms — not the transport — decide
+what goes on the simulated wire.
 """
 
 from __future__ import annotations
@@ -15,18 +26,60 @@ import threading
 from collections import defaultdict, deque
 from typing import Any, Hashable
 
-__all__ = ["Fabric", "FabricTimeoutError"]
+__all__ = ["Fabric", "FabricBase", "ThreadFabric", "FabricTimeoutError"]
 
 #: Default seconds a blocked receive waits before declaring deadlock.
 DEFAULT_TIMEOUT = 60.0
+
+#: Maximum mailbox lines included in a timeout report.
+_SUMMARY_LIMIT = 8
 
 
 class FabricTimeoutError(RuntimeError):
     """A receive waited longer than the deadlock timeout."""
 
 
-class Fabric:
-    """Shared state connecting ``size`` simulated ranks.
+def format_timeout(
+    src: int,
+    dst: int,
+    tag: Hashable,
+    timeout: float,
+    pending: dict[tuple[int, int, Hashable], int],
+) -> str:
+    """Deadlock report naming the blocked edge and undelivered traffic.
+
+    ``pending`` maps ``(src, dst, tag)`` to the number of messages
+    deposited but never received — the first place to look when a tag
+    mismatch or a diverging collective sequence hangs a rank.
+    """
+    head = (
+        f"recv(src={src}, dst={dst}, tag={tag!r}) timed out after "
+        f"{timeout}s — likely deadlock"
+    )
+    boxes = sorted(
+        ((key, count) for key, count in pending.items() if count > 0),
+        key=lambda item: item[1],
+        reverse=True,
+    )
+    if not boxes:
+        return head + "; no undelivered messages (sender never sent)"
+    lines = [
+        f"(src={k[0]}, dst={k[1]}, tag={k[2]!r}) x{count}"
+        for k, count in boxes[:_SUMMARY_LIMIT]
+    ]
+    more = len(boxes) - _SUMMARY_LIMIT
+    if more > 0:
+        lines.append(f"... and {more} more mailboxes")
+    return (
+        head
+        + f"; {sum(c for _, c in boxes)} undelivered message(s) in "
+        + f"{len(boxes)} mailbox(es): "
+        + ", ".join(lines)
+    )
+
+
+class FabricBase:
+    """Interface shared by the thread and process fabrics.
 
     Parameters
     ----------
@@ -42,6 +95,43 @@ class Fabric:
             raise ValueError("fabric needs at least one rank")
         self.size = size
         self.timeout = timeout
+
+    def put(self, src: int, dst: int, tag: Hashable, payload: Any) -> None:
+        """Deposit a message; wakes any blocked receivers."""
+        raise NotImplementedError
+
+    def get(self, src: int, dst: int, tag: Hashable) -> Any:
+        """Blocking receive of the oldest matching message."""
+        raise NotImplementedError
+
+    def abort(self) -> None:
+        """Unblock every waiting rank with an error (failure propagation)."""
+        raise NotImplementedError
+
+    def barrier(self) -> None:
+        """Global synchronisation across all ranks."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _check_ranks(self, src: int, dst: int) -> None:
+        if not (0 <= src < self.size and 0 <= dst < self.size):
+            raise ValueError(
+                f"rank out of range: src={src}, dst={dst}, size={self.size}"
+            )
+
+
+class ThreadFabric(FabricBase):
+    """Shared state connecting ``size`` simulated thread ranks.
+
+    Messages are NumPy arrays (or arbitrary payloads) deposited into
+    per-``(src, dst, tag)`` mailboxes; blocking ``recv`` waits on a
+    condition variable, so rank interleaving is handled by the OS
+    scheduler exactly as in a real multi-process MPI job — with the
+    obvious difference that "transfer" is a reference hand-off.
+    """
+
+    def __init__(self, size: int, timeout: float = DEFAULT_TIMEOUT) -> None:
+        super().__init__(size, timeout=timeout)
         self._lock = threading.Lock()
         self._condition = threading.Condition(self._lock)
         self._mailboxes: dict[tuple[int, int, Hashable], deque] = defaultdict(deque)
@@ -50,14 +140,12 @@ class Fabric:
 
     # ------------------------------------------------------------------
     def put(self, src: int, dst: int, tag: Hashable, payload: Any) -> None:
-        """Deposit a message; wakes any blocked receivers."""
         self._check_ranks(src, dst)
         with self._condition:
             self._mailboxes[(src, dst, tag)].append(payload)
             self._condition.notify_all()
 
     def get(self, src: int, dst: int, tag: Hashable) -> Any:
-        """Blocking receive of the oldest matching message."""
         self._check_ranks(src, dst)
         key = (src, dst, tag)
         with self._condition:
@@ -70,25 +158,23 @@ class Fabric:
                 if not self._condition.wait(timeout=self.timeout):
                     self._aborted = True
                     self._condition.notify_all()
+                    pending = {
+                        k: len(v) for k, v in self._mailboxes.items() if v
+                    }
                     raise FabricTimeoutError(
-                        f"recv(src={src}, dst={dst}, tag={tag}) timed out "
-                        f"after {self.timeout}s — likely deadlock"
+                        format_timeout(src, dst, tag, self.timeout, pending)
                     )
 
     def abort(self) -> None:
-        """Unblock every waiting rank with an error (failure propagation)."""
         with self._condition:
             self._aborted = True
             self._barrier.abort()
             self._condition.notify_all()
 
     def barrier(self) -> None:
-        """Global synchronisation across all ranks."""
         self._barrier.wait(timeout=self.timeout)
 
-    # ------------------------------------------------------------------
-    def _check_ranks(self, src: int, dst: int) -> None:
-        if not (0 <= src < self.size and 0 <= dst < self.size):
-            raise ValueError(
-                f"rank out of range: src={src}, dst={dst}, size={self.size}"
-            )
+
+#: Backward-compatible name: the thread fabric was the only backend
+#: before the process backend existed.
+Fabric = ThreadFabric

@@ -1,0 +1,487 @@
+"""Process-parallel message fabric: spawned ranks, shared-memory transfer.
+
+The thread fabric simulates ranks faithfully but the GIL serialises all
+pure-Python compute, so wall-clock never scales with ``p``. This module
+provides the second :class:`~repro.runtime.fabric.FabricBase` backend:
+each rank is a *spawned* process, large NumPy payloads travel through
+POSIX shared memory (one segment per message, unlinked by the
+receiver), and small payloads plus control flow ride multiprocessing
+queues. The :class:`~repro.runtime.communicator.Communicator` and its
+byte accounting run unchanged on top — collective algorithms, tag
+discipline and :class:`~repro.runtime.stats.CommStats` are transport-
+independent, so the recorded traffic is bit-identical to the thread
+backend.
+
+Robustness contract (what the thread fabric never needed):
+
+* a child that raises reports ``(rank, repr, traceback)`` to the driver
+  over a dedicated pipe and trips the shared abort event, so every
+  other rank unblocks instead of hanging;
+* a child that *dies* (killed, segfault) is detected through its pipe's
+  EOF plus the process sentinel and surfaces as a driver-side error
+  naming the rank and exit code;
+* blocked receives give up after the fabric timeout with a report
+  naming the blocked ``(src, dst, tag)`` and the undelivered mailboxes;
+* shared-memory segments are reference-tracked end to end: receivers
+  unlink after copying out, both sides drain their inboxes on exit, and
+  the driver sweeps the run's name prefix as a last resort — no run
+  leaks segments, even when aborted.
+
+Spawn start method only: fork would inherit arbitrary parent state
+(thread locks, BLAS pools) and is unsafe in threaded test runners. The
+price is that the rank function and its kwargs must be picklable —
+module-level functions, not closures (see
+:func:`repro.runtime.executor.run_spmd`).
+"""
+
+from __future__ import annotations
+
+import glob
+import multiprocessing
+import os
+import pickle
+import queue as queue_mod
+import secrets
+import threading
+import time
+import traceback
+from collections import defaultdict, deque
+from multiprocessing import resource_tracker, shared_memory
+from multiprocessing.connection import wait as connection_wait
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+from repro.runtime.fabric import FabricBase, FabricTimeoutError, format_timeout
+
+__all__ = ["ProcessFabric", "ProcessBackendError", "run_process_spmd"]
+
+#: Arrays at least this large (bytes) travel via SharedMemory; smaller
+#: payloads are pickled straight through the queue (one syscall beats a
+#: segment create/attach/unlink round-trip for small messages).
+SHM_THRESHOLD = 1 << 16
+
+#: Prefix of every shared-memory segment created by this fabric; the
+#: driver sweeps ``/dev/shm/<prefix>*`` of its own run token on exit.
+SHM_PREFIX = "reprofab"
+
+#: Poll interval for abort-event checks while blocked on a queue.
+_POLL_S = 0.05
+
+#: Extra driver-side seconds on top of the fabric timeout, covering
+#: interpreter start-up and module imports in spawned children.
+_SPAWN_GRACE_S = 60.0
+
+_ABORT_MESSAGE = "fabric aborted by another rank"
+
+
+class ProcessBackendError(RuntimeError):
+    """The rank program cannot run on the process backend."""
+
+
+class _ShmRef:
+    """Handle to an array parked in a shared-memory segment."""
+
+    __slots__ = ("name", "shape", "dtype")
+
+    def __init__(self, name: str, shape: tuple[int, ...], dtype: str) -> None:
+        self.name = name
+        self.shape = shape
+        self.dtype = dtype
+
+    def __getstate__(self):
+        return (self.name, self.shape, self.dtype)
+
+    def __setstate__(self, state):
+        self.name, self.shape, self.dtype = state
+
+
+def _untrack(raw_name: str) -> None:
+    """Drop a segment from this process's resource tracker.
+
+    The sender hands ownership to the receiver (who unlinks after
+    copying out); without this, the sender's tracker would try to
+    unlink the same name again at interpreter exit and log warnings.
+    """
+    try:
+        resource_tracker.unregister(raw_name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker is an implementation detail
+        pass
+
+
+def _encode(payload: Any, namer: Callable[[], str]) -> Any:
+    """Recursively park large arrays in shared memory.
+
+    Returns a queue-safe structure mirroring ``payload`` with big
+    ndarrays replaced by :class:`_ShmRef`.
+    """
+    if isinstance(payload, np.ndarray):
+        if payload.nbytes >= SHM_THRESHOLD and not payload.dtype.hasobject:
+            arr = np.ascontiguousarray(payload)
+            shm = shared_memory.SharedMemory(
+                create=True, size=arr.nbytes, name=namer()
+            )
+            np.ndarray(arr.shape, arr.dtype, buffer=shm.buf)[...] = arr
+            shm.close()
+            _untrack(shm._name)
+            return _ShmRef(shm.name, arr.shape, arr.dtype.str)
+        return payload
+    if isinstance(payload, (list, tuple)):
+        return type(payload)(_encode(item, namer) for item in payload)
+    return payload
+
+
+def _decode(payload: Any) -> Any:
+    """Materialise an encoded payload, unlinking consumed segments."""
+    if isinstance(payload, _ShmRef):
+        shm = shared_memory.SharedMemory(name=payload.name)
+        try:
+            view = np.ndarray(
+                payload.shape, dtype=np.dtype(payload.dtype), buffer=shm.buf
+            )
+            return view.copy()
+        finally:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already swept
+                pass
+    if isinstance(payload, (list, tuple)):
+        return type(payload)(_decode(item) for item in payload)
+    return payload
+
+
+def _release(payload: Any) -> None:
+    """Unlink every segment referenced by an undelivered payload."""
+    if isinstance(payload, _ShmRef):
+        try:
+            shm = shared_memory.SharedMemory(name=payload.name)
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+    elif isinstance(payload, (list, tuple)):
+        for item in payload:
+            _release(item)
+
+
+class ProcessFabric(FabricBase):
+    """One rank's endpoint of the multiprocessing fabric.
+
+    Each rank owns one inbound queue; ``put`` deposits into the
+    destination's queue, ``get`` drains the own queue into local
+    per-``(src, tag)`` mailboxes until the requested message appears.
+    Per-key FIFO order holds because each (src, dst) pair has a single
+    producer and multiprocessing queues preserve per-producer order.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        queues: list,
+        barrier,
+        abort_event,
+        timeout: float,
+        shm_token: str,
+    ) -> None:
+        super().__init__(size, timeout=timeout)
+        self.rank = rank
+        self._queues = queues
+        self._barrier = barrier
+        self._abort = abort_event
+        self._pending: dict[tuple[int, Hashable], deque] = defaultdict(deque)
+        self._shm_token = shm_token
+        self._shm_seq = 0
+
+    # ------------------------------------------------------------------
+    def _next_shm_name(self) -> str:
+        self._shm_seq += 1
+        return f"{self._shm_token}r{self.rank}n{self._shm_seq}"
+
+    def put(self, src: int, dst: int, tag: Hashable, payload: Any) -> None:
+        self._check_ranks(src, dst)
+        if src != self.rank:
+            raise ValueError(
+                f"rank {self.rank} cannot send on behalf of rank {src}"
+            )
+        encoded = _encode(payload, self._next_shm_name)
+        self._queues[dst].put((src, tag, encoded))
+
+    def get(self, src: int, dst: int, tag: Hashable) -> Any:
+        self._check_ranks(src, dst)
+        if dst != self.rank:
+            raise ValueError(
+                f"rank {self.rank} cannot receive on behalf of rank {dst}"
+            )
+        key = (src, tag)
+        deadline = time.monotonic() + self.timeout
+        while True:
+            box = self._pending.get(key)
+            if box:
+                return _decode(box.popleft())
+            if self._abort.is_set():
+                raise FabricTimeoutError(_ABORT_MESSAGE)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._abort.set()
+                pending = {
+                    (s, self.rank, t): len(d)
+                    for (s, t), d in self._pending.items()
+                    if d
+                }
+                raise FabricTimeoutError(
+                    format_timeout(src, dst, tag, self.timeout, pending)
+                )
+            try:
+                src_got, tag_got, encoded = self._queues[self.rank].get(
+                    timeout=min(_POLL_S, remaining)
+                )
+            except queue_mod.Empty:
+                continue
+            self._pending[(src_got, tag_got)].append(encoded)
+
+    def abort(self) -> None:
+        self._abort.set()
+        self._barrier.abort()
+
+    def barrier(self) -> None:
+        try:
+            self._barrier.wait(timeout=self.timeout)
+        except threading.BrokenBarrierError:
+            raise FabricTimeoutError(
+                "barrier broken (a rank aborted or timed out)"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Release segments of every undelivered inbound message."""
+        while True:
+            try:
+                _src, _tag, encoded = self._queues[self.rank].get_nowait()
+            except (queue_mod.Empty, OSError, ValueError):
+                break
+            _release(encoded)
+        for box in self._pending.values():
+            while box:
+                _release(box.popleft())
+
+
+# ----------------------------------------------------------------------
+# Child process entry point
+# ----------------------------------------------------------------------
+def _child_main(
+    rank: int,
+    size: int,
+    queues: list,
+    conn,
+    barrier,
+    abort_event,
+    timeout: float,
+    trace: bool,
+    shm_token: str,
+    fn_bytes: bytes,
+) -> None:
+    """Run one rank program and report the outcome to the driver."""
+    from repro.runtime.communicator import Communicator
+    from repro.runtime.stats import CommStats
+
+    fabric = ProcessFabric(
+        rank, size, queues, barrier, abort_event, timeout, shm_token
+    )
+    stats = CommStats(rank, trace=trace)
+    comm = Communicator(fabric, rank, stats)
+    try:
+        fn, kwargs = pickle.loads(fn_bytes)
+        start = time.perf_counter()
+        value = fn(comm, **kwargs)
+        stats.wall_s = time.perf_counter() - start
+        outcome = ("ok", value, stats)
+    except BaseException as exc:  # noqa: BLE001 - reported to the driver
+        abort_event.set()
+        is_timeout = isinstance(exc, FabricTimeoutError)
+        is_echo = is_timeout and str(exc) == _ABORT_MESSAGE
+        outcome = (
+            "error", repr(exc), traceback.format_exc(), is_timeout, is_echo
+        )
+    finally:
+        fabric.drain()
+    try:
+        conn.send(outcome)
+    except (BrokenPipeError, OSError):  # pragma: no cover - driver gone
+        pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def _pick_primary(errors: dict[int, tuple]) -> tuple[int, tuple]:
+    """Root-cause heuristic matching the thread executor.
+
+    Prefer a rank that failed on its own over one unblocked by the
+    abort, and a genuine deadlock report over an abort echo; break ties
+    by rank so reports are deterministic.
+    """
+
+    def badness(item):
+        rank, err = item
+        if err[0] == "died":
+            return (0, rank)
+        _kind, _repr, _tb, is_timeout, is_echo = err
+        return (0 if not is_timeout else 2 if is_echo else 1, rank)
+
+    return min(errors.items(), key=badness)
+
+
+def _sweep_segments(shm_token: str) -> int:
+    """Unlink any leftover segments of this run (crash-path backstop)."""
+    swept = 0
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-POSIX hosts
+        return 0
+    for path in glob.glob(os.path.join(shm_dir, f"{shm_token}*")):
+        try:
+            os.unlink(path)
+            swept += 1
+        except OSError:  # pragma: no cover - concurrent unlink
+            pass
+    return swept
+
+
+def run_process_spmd(
+    size: int,
+    fn: Callable[..., Any],
+    timeout: float = 120.0,
+    trace: bool = False,
+    **kwargs: Any,
+):
+    """Execute ``fn(comm, **kwargs)`` on ``size`` spawned process ranks.
+
+    Mirrors the thread path of :func:`repro.runtime.executor.run_spmd`
+    (same return type, same error conventions) with real OS-level
+    parallelism. Raises :class:`ProcessBackendError` when ``fn`` or its
+    kwargs cannot be pickled for the spawn start method.
+    """
+    from repro.runtime.executor import SpmdResult
+    from repro.runtime.stats import RunStats
+
+    if size < 1:
+        raise ValueError("need at least one rank")
+    try:
+        fn_bytes = pickle.dumps((fn, kwargs), protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise ProcessBackendError(
+            "the process backend spawns fresh interpreters, so the rank "
+            "function and its kwargs must be picklable; use a module-level "
+            f"function instead of a closure/lambda (pickling failed: {exc!r})"
+        ) from exc
+
+    ctx = multiprocessing.get_context("spawn")
+    shm_token = f"{SHM_PREFIX}{os.getpid():x}x{secrets.token_hex(4)}"
+    queues = [ctx.Queue() for _ in range(size)]
+    barrier = ctx.Barrier(size)
+    abort_event = ctx.Event()
+    pipes = [ctx.Pipe(duplex=False) for _ in range(size)]
+    procs = [
+        ctx.Process(
+            target=_child_main,
+            args=(
+                rank, size, queues, pipes[rank][1], barrier, abort_event,
+                timeout, trace, shm_token, fn_bytes,
+            ),
+            name=f"rank-{rank}",
+            daemon=True,
+        )
+        for rank in range(size)
+    ]
+
+    outcomes: dict[int, tuple] = {}
+    try:
+        for proc in procs:
+            proc.start()
+        # Close the driver's copies of the send ends so a dead child
+        # reads as EOF on its pipe.
+        for _recv_end, send_end in pipes:
+            send_end.close()
+
+        conn_to_rank = {pipes[rank][0]: rank for rank in range(size)}
+        deadline = time.monotonic() + timeout + _SPAWN_GRACE_S
+        while len(outcomes) < size:
+            waiting = [
+                conn for conn, rank in conn_to_rank.items()
+                if rank not in outcomes
+            ]
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                abort_event.set()
+                for rank in range(size):
+                    outcomes.setdefault(
+                        rank,
+                        ("error",
+                         f"driver timeout after {timeout + _SPAWN_GRACE_S}s",
+                         "", True, False),
+                    )
+                break
+            for conn in connection_wait(waiting, timeout=min(remaining, 0.5)):
+                rank = conn_to_rank[conn]
+                try:
+                    outcomes[rank] = conn.recv()
+                except EOFError:
+                    # Child exited without reporting: killed or crashed
+                    # below Python. Tear the group down.
+                    abort_event.set()
+                    procs[rank].join(timeout=5.0)
+                    outcomes[rank] = ("died", procs[rank].exitcode)
+    finally:
+        abort_event.set()
+        started = [proc for proc in procs if proc.pid is not None]
+        for proc in started:
+            proc.join(timeout=5.0)
+        for proc in started:
+            if proc.is_alive():  # pragma: no cover - hung child backstop
+                proc.terminate()
+                proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - unkillable child
+                proc.kill()
+                proc.join(timeout=2.0)
+        # Release any in-flight segments, then close the queues.
+        for rank, q in enumerate(queues):
+            while True:
+                try:
+                    _src, _tag, encoded = q.get_nowait()
+                except (queue_mod.Empty, OSError, ValueError):
+                    break
+                _release(encoded)
+            q.close()
+        for recv_end, _send_end in pipes:
+            recv_end.close()
+        _sweep_segments(shm_token)
+
+    errors = {
+        rank: outcome
+        for rank, outcome in outcomes.items()
+        if outcome[0] != "ok"
+    }
+    if errors:
+        rank, err = _pick_primary(errors)
+        if err[0] == "died":
+            raise RuntimeError(
+                f"rank {rank} died without reporting (exit code {err[1]}); "
+                "the process group was torn down. If this happened at "
+                "interpreter start-up, ensure the driver script guards "
+                "run_spmd behind `if __name__ == '__main__':` (the spawn "
+                "start method re-imports the main module)"
+            )
+        _kind, exc_repr, tb_text, _is_timeout, _is_echo = err
+        detail = f"\n--- rank {rank} traceback ---\n{tb_text}" if tb_text else ""
+        raise RuntimeError(f"rank {rank} failed: {exc_repr}{detail}")
+
+    values = [outcomes[rank][1] for rank in range(size)]
+    all_stats = [outcomes[rank][2] for rank in range(size)]
+    return SpmdResult(
+        values=values,
+        stats=RunStats(per_rank=all_stats),
+        backend="process",
+    )

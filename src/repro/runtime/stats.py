@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.util.counters import FlopCounter
 
@@ -35,10 +34,15 @@ class CommStats:
         Local compute, via the embedded :class:`FlopCounter`.
     by_phase:
         ``phase -> bytes`` breakdown (e.g. "psi", "redistribute").
+    wall_s:
+        Measured wall-clock seconds of this rank's program, set by the
+        executor. On the thread backend ranks share the GIL so this is
+        not a scaling signal; on the process backend it is real
+        per-rank time and the strong-scaling benchmarks report it.
     """
 
     __slots__ = ("rank", "bytes_sent", "messages_sent", "flops", "by_phase",
-                 "_phase", "trace")
+                 "_phase", "trace", "wall_s")
 
     def __init__(self, rank: int, trace: bool = False) -> None:
         self.rank = rank
@@ -47,6 +51,7 @@ class CommStats:
         self.flops = FlopCounter()
         self.by_phase: dict[str, int] = {}
         self._phase = "default"
+        self.wall_s = 0.0
         if trace:
             from repro.runtime.trace import CommTrace
 
@@ -114,6 +119,11 @@ class RunStats:
         """Critical-path compute (max flops over ranks)."""
         return max((s.flops.total for s in self.per_rank), default=0)
 
+    @property
+    def max_wall_s(self) -> float:
+        """Slowest rank's measured wall-clock seconds (0 if unset)."""
+        return max((s.wall_s for s in self.per_rank), default=0.0)
+
     def phase_bytes(self) -> dict[str, int]:
         """Per-phase max-over-ranks byte counts."""
         phases: dict[str, int] = {}
@@ -131,4 +141,5 @@ class RunStats:
             "total_bytes_sent": self.total_bytes_sent,
             "max_messages_sent": self.max_messages_sent,
             "max_flops": self.max_flops,
+            "max_wall_s": self.max_wall_s,
         }

@@ -22,6 +22,8 @@ decomposes into them (Figure 1). Design points:
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.tensor.csr import CSRMatrix
@@ -54,8 +56,26 @@ __all__ = [
 #: (measured ~2x faster than the previous 1M-entry chunks at k=64).
 _SDDMM_CHUNK = 1 << 15
 
-_DEFAULT_BACKEND = "scipy"
 _VALID_BACKENDS = ("scipy", "reference")
+
+#: Environment override for the import-time default backend. CI runs
+#: the suite once per value so both the BLAS delegation and the
+#: pure-NumPy reference path stay covered.
+_BACKEND_ENV_VAR = "REPRO_SPMM_BACKEND"
+
+
+def _initial_backend() -> str:
+    env = os.environ.get(_BACKEND_ENV_VAR, "").strip().lower()
+    if not env:
+        return "scipy"
+    if env not in _VALID_BACKENDS:
+        raise ValueError(
+            f"${_BACKEND_ENV_VAR}={env!r}: use one of {_VALID_BACKENDS}"
+        )
+    return env
+
+
+_DEFAULT_BACKEND = _initial_backend()
 
 
 def set_default_backend(backend: str) -> None:

@@ -30,7 +30,6 @@ Provided instances:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
 
 import numpy as np
 

@@ -1,0 +1,80 @@
+"""Module-level SPMD rank programs for process-backend tests.
+
+The spawn start method pickles rank functions *by reference*, so every
+program that must run on the process backend lives here at module
+level — a closure defined inside a test function would raise
+:class:`repro.runtime.process_fabric.ProcessBackendError`.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import numpy as np
+
+
+def collective_roundtrip(comm, n: int = 50_000):
+    """Exercise allreduce + allgather + barrier; returns a checksum."""
+    x = np.full(n, float(comm.rank + 1))
+    total = comm.allreduce(x)
+    blocks = comm.allgather(np.array([comm.rank * 10.0]))
+    comm.barrier()
+    return float(total[0]) + sum(float(b[0]) for b in blocks)
+
+
+def large_array_pingpong(comm, shape=(512, 128)):
+    """Ship arrays above the SharedMemory threshold both directions."""
+    payload = np.full(shape, float(comm.rank), dtype=np.float64)
+    partner = comm.size - 1 - comm.rank
+    if comm.rank == partner:
+        return float(payload.sum())
+    comm.send(payload, partner, tag="pp")
+    received = comm.recv(partner, tag="pp")
+    assert received.shape == shape
+    assert np.all(received == float(partner))
+    return float(received[0, 0])
+
+
+def echo_rank(comm):
+    """Identity program for ordering / backend-selection tests."""
+    return comm.rank
+
+
+def crash_on_rank_one(comm):
+    """Rank 1 raises; everyone else blocks until the abort unblocks them."""
+    if comm.rank == 1:
+        raise ValueError("rank 1 exploded in a child process")
+    comm.recv(1, tag="never-sent")
+
+
+def die_on_rank_one(comm):
+    """Rank 1 dies without any Python-level cleanup (SIGKILL)."""
+    if comm.rank == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+    comm.recv(1, tag="never-sent")
+
+
+def deadlock_rank_zero(comm):
+    """Rank 0 waits for a message nobody sends (with a decoy pending)."""
+    if comm.rank == 0:
+        comm.recv(1, tag="missing")
+    else:
+        comm.send(np.ones(4), 0, tag="decoy")
+        comm.recv(0, tag="reply-never-sent")
+
+
+def self_deadlock(comm):
+    """Deterministic single-rank deadlock: a decoy self-send is pending
+    while the rank waits on a tag nobody uses."""
+    comm.send(np.ones(4), comm.rank, tag="decoy")
+    comm.recv(comm.rank, tag="missing")
+
+
+def traced_sends(comm):
+    """A few phase-labelled sends for trace plumbing tests."""
+    comm.stats.set_phase("alpha")
+    comm.bcast(np.zeros(64, dtype=np.float32), root=0)
+    comm.stats.set_phase("beta")
+    comm.allreduce(np.ones(8))
+    return comm.stats.messages_sent

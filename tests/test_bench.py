@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.bench.configs import FIGURE_CONFIGS, scaled_figure
-from repro.bench.harness import BenchRow, make_graph, run_config, write_csv
+from repro.bench.harness import make_graph, run_config, write_csv
 from repro.bench.report import load_results, render_figure
 from repro.bench.unified_bench import build_parser
 from repro.bench.unified_bench import main as bench_main

@@ -6,7 +6,7 @@ import pytest
 from repro.core.formulation import AttentionSpec, GenericLayer
 from repro.core.psi import psi_va, psi_va_vjp
 from repro.models.va import VALayer
-from repro.tensor.semiring import REAL, TROPICAL_MAX, adjacency_values
+from repro.tensor.semiring import TROPICAL_MAX, adjacency_values
 
 
 @pytest.fixture

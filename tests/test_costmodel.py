@@ -1,6 +1,5 @@
 """Tests for the two-rate cost model and flop accounting."""
 
-import numpy as np
 import pytest
 
 from repro.runtime.costmodel import (

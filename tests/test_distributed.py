@@ -19,7 +19,6 @@ from repro.distributed.partition import (
     distribute_features,
 )
 from repro.runtime import run_spmd, square_grid
-from repro.tensor.csr import CSRMatrix
 from repro.tensor.kernels import spmm
 from repro.tensor.segment import segment_softmax
 from tests.conftest import random_csr

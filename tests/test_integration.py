@@ -12,7 +12,7 @@ from repro.baselines.dist_local import dist_local_train
 from repro.distributed.api import distributed_inference, distributed_train
 from repro.graphs import kronecker, synthetic_classification
 from repro.graphs.prep import graph_stats, prepare_adjacency
-from repro.models import build_model, load_model, save_model
+from repro.models import build_model, save_model
 from repro.runtime import run_spmd
 from repro.training import Adam, SoftmaxCrossEntropyLoss, Trainer
 

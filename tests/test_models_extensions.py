@@ -12,7 +12,7 @@ from repro.models import (
     sgc_model,
 )
 from repro.models.sgc import propagate
-from repro.training import Adam, MSELoss, SoftmaxCrossEntropyLoss, Trainer
+from repro.training import Adam, SoftmaxCrossEntropyLoss, Trainer
 from tests.test_models_gradcheck import max_rel_gradient_error
 
 

@@ -7,7 +7,6 @@ the strongest random-input statement of the library's core invariant.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.tensor.coo import COOMatrix
 from repro.tensor.csr import CSRMatrix
 from tests.conftest import random_csr
 

@@ -7,7 +7,7 @@ import pytest
 from repro.baselines.dist_local import dist_local_inference
 from repro.distributed.api import distributed_inference
 from repro.graphs import erdos_renyi
-from repro.graphs.prep import graph_stats, prepare_adjacency
+from repro.graphs.prep import prepare_adjacency
 from repro.theory import (
     crossover_density,
     erdos_renyi_local_words,

@@ -1,7 +1,6 @@
 """Tests for the communication-trace facility."""
 
 import numpy as np
-import pytest
 
 from repro.runtime import run_spmd
 from repro.runtime.trace import CommTrace, diff_traces

@@ -77,11 +77,26 @@ def run_suite(
         spmm,
     )
 
+    from repro.models.gat import MultiHeadGATLayer
+
     rng = np.random.default_rng(0)
     a = make_graph("uniform", n, deg * n, seed=0)
     h = rng.normal(size=(n, k)).astype(np.float32)
     u = rng.normal(size=n).astype(np.float32)
     scores = a.with_data(rng.normal(size=a.nnz).astype(np.float32))
+
+    # Head-batched multi-head GAT layer step (fwd+bwd, 8 heads) on a
+    # small graph — the overhead-amortisation regime the batching
+    # targets; gates the whole stacked-kernel path end to end.
+    mh_a = make_graph("uniform", 64, 256, seed=0).astype(np.float64)
+    mh_h = rng.normal(size=(64, 16))
+    mh_g = rng.normal(size=(64, 64))
+    mh_layer = MultiHeadGATLayer(16, 8, heads=8, seed=3,
+                                 dtype=np.float64, batched=True)
+
+    def mh_step():
+        out, cache = mh_layer.forward(mh_a, mh_h)
+        mh_layer.backward(cache, mh_g)
 
     cases = {
         "spmm_scipy": lambda: spmm(a, h, backend="scipy"),
@@ -92,6 +107,7 @@ def run_suite(
         "masked_row_softmax": lambda: masked_row_softmax(scores),
         "transpose_warm": lambda: a.transpose(),
         "col_sum": lambda: a.col_sum(),
+        "gat8_multihead_batched": mh_step,
     }
     results: dict[str, float] = {}
     for name, fn in cases.items():

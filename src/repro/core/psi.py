@@ -156,7 +156,8 @@ def psi_agnn_vjp(
     a, h = cache.a, cache.h
     # Softmax backward on stored values.
     dt = masked_row_softmax_backward(
-        cache.softmax_values, ds_values, a.indptr, counter=counter
+        cache.softmax_values, ds_values, a.indptr,
+        rows=a.expand_rows(), counter=counter,
     )
     dbeta = float(np.dot(dt, cache.cos_values))
     dc = cache.beta * dt
@@ -212,15 +213,26 @@ def psi_gat(
     virtual matrix :math:`C = \\mathrm{rep}(u) + \\mathrm{rep}^T(v)` is
     sampled on A's pattern (one additive SDDMM), passed through
     LeakyReLU and the graph softmax.
+
+    Head-batched form: ``hp`` of shape ``(n, heads, d)`` with attention
+    vectors stacked as ``(heads, d)`` matrices yields ``(nnz, heads)``
+    stacked scores ``S`` — every head's logits, LeakyReLU and softmax
+    run in the same kernel sweeps, with flop counts equal to the summed
+    per-head loop.
     """
-    u = hp @ a_src
-    v = hp @ a_dst
+    hp = np.asarray(hp)
+    if hp.ndim == 3:
+        u = np.einsum("nhd,hd->nh", hp, a_src)
+        v = np.einsum("nhd,hd->nh", hp, a_dst)
+    else:
+        u = hp @ a_src
+        v = hp @ a_dst
     counter.add(4 * hp.size, "gat_uv")
     raw = sddmm_add(a, u, v, counter=counter)
     logits = leaky_relu(raw, slope)
-    counter.add(a.nnz, "leaky_relu")
-    soft = segment_softmax(logits, a.indptr)
-    counter.add(5 * a.nnz, "softmax")
+    counter.add(raw.size, "leaky_relu")
+    soft = segment_softmax(logits, a.indptr, rows=a.expand_rows())
+    counter.add(5 * raw.size, "softmax")
     s = a.with_data(soft)
     return s, PsiGATCache(
         a=a, hp=hp, a_src=np.asarray(a_src), a_dst=np.asarray(a_dst),
@@ -241,16 +253,26 @@ def psi_gat_vjp(
     """
     a, hp = cache.a, cache.hp
     dlogits = masked_row_softmax_backward(
-        cache.softmax_values, ds_values, a.indptr, counter=counter
+        cache.softmax_values, ds_values, a.indptr,
+        rows=a.expand_rows(), counter=counter,
     )
     draw = dlogits * leaky_relu_grad(cache.raw_values, cache.slope)
     du = segment_sum(draw, a.indptr)
     dv = bincount_sum(a.indices, draw, a.shape[1])
-    counter.add(3 * a.nnz, "gat_vjp")
+    counter.add(3 * draw.size, "gat_vjp")
 
-    # u = hp @ a_src, v = hp @ a_dst — rank-1 feature gradients.
-    da_src = hp.T @ du
-    da_dst = hp.T @ dv
-    dhp = np.outer(du, cache.a_src) + np.outer(dv, cache.a_dst)
+    # u = hp @ a_src, v = hp @ a_dst — rank-1 feature gradients (one
+    # rank-1 update per head in the batched layout).
+    if hp.ndim == 3:
+        da_src = np.einsum("nhd,nh->hd", hp, du)
+        da_dst = np.einsum("nhd,nh->hd", hp, dv)
+        dhp = (
+            du[:, :, None] * cache.a_src[None]
+            + dv[:, :, None] * cache.a_dst[None]
+        )
+    else:
+        da_src = hp.T @ du
+        da_dst = hp.T @ dv
+        dhp = np.outer(du, cache.a_src) + np.outer(dv, cache.a_dst)
     counter.add(6 * hp.size, "gat_vjp")
     return dhp, da_src, da_dst

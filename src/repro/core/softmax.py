@@ -65,5 +65,9 @@ def graph_softmax(s: CSRMatrix, out: np.ndarray | None = None) -> CSRMatrix:
     Numerically stabilised with a per-row max shift (which cancels in
     the softmax). ``out``, if given, receives the normalised stored
     values in place and becomes the data vector of the result.
+
+    Head-batched matrices carrying stacked ``(nnz, heads)`` values are
+    normalised per head in the same sweep — head ``i`` of the result
+    equals the scalar softmax of head ``i``'s values.
     """
     return masked_row_softmax(s, out=out)

@@ -550,17 +550,34 @@ class _DistMultiHeadCache:
     z_block: np.ndarray
 
 
-class DistMultiHeadGATLayer(DistGnnLayer):
-    """Distributed multi-head GAT: heads run sequentially on the grid.
+@dataclass
+class _DistBatchedMultiHeadCache:
+    a_block: CSRMatrix
+    h_block: np.ndarray
+    hp_col: np.ndarray
+    hp_row: np.ndarray
+    s_block: CSRMatrix
+    raw_values: np.ndarray
+    z_block: np.ndarray
 
-    Each head is a full :class:`DistGATLayer` with identity activation;
-    outputs are concatenated (hidden layers) or averaged (output
-    layers) and the wrapper's activation applied once — numerically
-    identical to the single-node :class:`~repro.models.gat.MultiHeadGATLayer`
-    given the same seeds, which the equivalence tests assert. Each head
-    performs its own broadcast/softmax/redistribution, so per-layer
-    communication scales linearly with the head count (as it does for
-    any multi-head implementation that does not batch heads).
+
+class DistMultiHeadGATLayer(DistGnnLayer):
+    """Distributed multi-head GAT on the 1.5D schedule.
+
+    With ``batched=True`` (the default) the per-head messages of every
+    communication step are coalesced into one stacked fabric transfer:
+    a single ``(b, heads*d)`` row broadcast, one distributed softmax
+    over stacked ``(nnz, heads)`` logits, one reduce+redistribute and
+    one transpose exchange per layer step — ``heads`` times fewer
+    messages than the per-head loop at the same total payload, which
+    :class:`~repro.runtime.stats.CommStats` makes observable.
+
+    ``batched=False`` keeps the original sequential per-head loop of
+    full :class:`DistGATLayer` objects as the correctness oracle. Both
+    modes share parameter storage (per-head ``weight``/``a_src``/
+    ``a_dst`` are views into the stacked arrays), matching the
+    single-node :class:`~repro.models.gat.MultiHeadGATLayer` given the
+    same seeds — the equivalence tests assert this.
     """
 
     def __init__(
@@ -573,6 +590,7 @@ class DistMultiHeadGATLayer(DistGnnLayer):
         slope: float = 0.2,
         seed: int | np.random.Generator | None = 0,
         dtype: np.dtype | type = np.float32,
+        batched: bool = True,
     ) -> None:
         super().__init__(activation)
         if combine not in ("concat", "mean"):
@@ -584,11 +602,36 @@ class DistMultiHeadGATLayer(DistGnnLayer):
             for _ in range(heads)
         ]
         self.combine = combine
+        self.batched = batched
+        self.slope = slope
         self.in_dim = in_dim
+        self.head_dim = out_dim
+        self.num_heads = heads
         self.out_dim = out_dim * heads if combine == "concat" else out_dim
+        # Stacked replicated parameters; per-head attributes are
+        # contiguous (head-major) views, so oracle and batched paths
+        # share storage, SGD updates and flat-index perturbation.
+        self._w_stack = np.stack([head.weight for head in self.heads])
+        self._a_src_mat = np.stack([head.a_src for head in self.heads])
+        self._a_dst_mat = np.stack([head.a_dst for head in self.heads])
+        for index, head in enumerate(self.heads):
+            head.weight = self._w_stack[index]
+            head.a_src = self._a_src_mat[index]
+            head.a_dst = self._a_dst_mat[index]
+
+    def _stacked_weight(self) -> np.ndarray:
+        """``(in, heads*d)`` column-block weight, rebuilt per call so
+        in-place updates are always reflected."""
+        return self._w_stack.transpose(1, 0, 2).reshape(
+            self.in_dim, self.num_heads * self.head_dim
+        )
 
     def forward(self, grid, a_block, h_block, sequencer,
                 counter=null_counter(), training=True):
+        if self.batched:
+            return self._forward_batched(
+                grid, a_block, h_block, sequencer, counter, training
+            )
         outputs, caches = [], []
         for head in self.heads:
             out, cache = head.forward(
@@ -606,8 +649,52 @@ class DistMultiHeadGATLayer(DistGnnLayer):
             return h_next, None
         return h_next, _DistMultiHeadCache(caches=caches, z_block=z_block)
 
+    def _forward_batched(self, grid, a_block, h_block, sequencer,
+                         counter, training):
+        heads, d = self.num_heads, self.head_dim
+        b = h_block.shape[0]
+        grid.comm.stats.set_phase("psi")
+        hp_col_flat = mm(h_block, self._stacked_weight(), counter=counter)
+        # ONE row broadcast carries every head's projected block.
+        hp_row_flat = row_bcast_from_diagonal(grid, hp_col_flat)
+        hp_col = hp_col_flat.reshape(b, heads, d)
+        hp_row = hp_row_flat.reshape(-1, heads, d)
+        u = np.einsum("nhd,hd->nh", hp_row, self._a_src_mat)
+        v = np.einsum("nhd,hd->nh", hp_col, self._a_dst_mat)
+        counter.add(4 * hp_col.size, "gat_uv")
+        raw = sddmm_add(a_block, u, v, counter=counter)
+        logits = leaky_relu(raw, self.slope)
+        grid.comm.stats.set_phase("softmax")
+        # Stacked (nnz, heads) logits: one distributed softmax (two
+        # feature-free allreduces) normalises all heads.
+        soft = distributed_row_softmax(grid, a_block, logits)
+        counter.add(6 * raw.size, "softmax")
+        s_block = a_block.with_data(soft)
+        grid.comm.stats.set_phase("aggregate")
+        partial = spmm(s_block, hp_col, counter=counter)
+        grid.comm.stats.set_phase("redistribute")
+        # ONE reduce+redistribute of the flat (b, heads*d) partials.
+        z_flat = reduce_and_redistribute(
+            grid, partial.reshape(-1, heads * d), sequencer
+        )
+        if self.combine == "concat":
+            z_block = z_flat
+        else:
+            z_block = z_flat.reshape(-1, heads, d).mean(axis=1)
+        h_next = self.activation.fn(z_block)
+        if not training:
+            return h_next, None
+        return h_next, _DistBatchedMultiHeadCache(
+            a_block=a_block, h_block=h_block, hp_col=hp_col, hp_row=hp_row,
+            s_block=s_block, raw_values=raw, z_block=z_block,
+        )
+
     def backward(self, grid, cache, g_block, sequencer,
                  counter=null_counter(), need_input_grad=True):
+        if isinstance(cache, _DistBatchedMultiHeadCache):
+            return self._backward_batched(
+                grid, cache, g_block, sequencer, counter, need_input_grad
+            )
         n_heads = len(self.heads)
         if self.combine == "concat":
             width = g_block.shape[1] // n_heads
@@ -630,6 +717,86 @@ class DistMultiHeadGATLayer(DistGnnLayer):
                 gamma = head_gamma if gamma is None else gamma + head_gamma
             for name, value in head_param_grads.items():
                 grads[f"head{index}.{name}"] = value
+        return gamma, grads
+
+    def _backward_batched(self, grid, cache, g_block, sequencer,
+                          counter, need_input_grad):
+        heads, d = self.num_heads, self.head_dim
+        a_block = cache.a_block
+        b = g_block.shape[0]
+        grid.comm.stats.set_phase("backward")
+        if self.combine == "concat":
+            g_flat = np.ascontiguousarray(g_block)
+        else:
+            # Mean combine: each head sees dL/dZ_h = g / heads.
+            g_flat = np.ascontiguousarray(
+                np.broadcast_to(
+                    (g_block / heads)[:, None, :], (b, heads, d)
+                ).reshape(b, heads * d)
+            )
+        # ONE row broadcast of the stacked output gradient.
+        g_row = row_bcast_from_diagonal(grid, g_flat).reshape(-1, heads, d)
+        ds = sddmm_dot(a_block, g_row, cache.hp_col, counter=counter)
+        dlogits = distributed_row_softmax_backward(
+            grid, a_block, cache.s_block.data, ds
+        )
+        draw = dlogits * leaky_relu_grad(cache.raw_values, self.slope)
+        du = grid.row_comm.allreduce(segment_sum(draw, a_block.indptr))
+        dv = grid.col_comm.allreduce(
+            bincount_sum(a_block.indices, draw, a_block.shape[1])
+        )
+        counter.add(4 * draw.size, "gat_vjp")
+
+        # Attention-vector gradients: single-count blocks, then sum —
+        # one allreduce carries all heads' (heads, d) gradients.
+        da_src_local = (
+            np.einsum("nhd,nh->hd", cache.hp_row, du) if grid.col == 0
+            else np.zeros_like(self._a_src_mat, dtype=du.dtype)
+        )
+        da_dst_local = (
+            np.einsum("nhd,nh->hd", cache.hp_col, dv) if grid.row == 0
+            else np.zeros_like(self._a_dst_mat, dtype=dv.dtype)
+        )
+        da_src = grid.comm.allreduce(da_src_local)
+        da_dst = grid.comm.allreduce(da_dst_local)
+
+        stg_flat = spmm(
+            cache.s_block.transpose(), g_row, counter=counter
+        ).reshape(-1, heads * d)
+        # Per-head rank-1 updates, stacked flat: outer(dv_h, a_dst_h)
+        # becomes one (b, heads*d) array.
+        dst_rank1 = (dv[:, :, None] * self._a_dst_mat[None]).reshape(
+            -1, heads * d
+        )
+        src_rank1 = (du[:, :, None] * self._a_src_mat[None]).reshape(
+            -1, heads * d
+        )
+        col_partial = stg_flat + (
+            dst_rank1 if grid.row == 0 else np.zeros_like(stg_flat)
+        )
+        # ONE allreduce of the stacked column terms.
+        col_term = grid.col_comm.allreduce(col_partial)
+        row_term = src_rank1  # complete locally
+
+        # Weight gradient dW = H^T dH' from single-count parts; one
+        # (in, heads*d) allreduce replaces `heads` separate ones.
+        dw_local = mm(cache.h_block.T, stg_flat, counter=counter)
+        if grid.row == 0:
+            dw_local = dw_local + cache.h_block.T @ dst_rank1
+        if grid.row == grid.col:
+            dw_local = dw_local + cache.h_block.T @ src_rank1
+        d_weight = grid.comm.allreduce(dw_local)
+
+        grads: dict[str, np.ndarray] = {}
+        for i in range(heads):
+            grads[f"head{i}.weight"] = d_weight[:, i * d : (i + 1) * d]
+            grads[f"head{i}.a_src"] = da_src[i]
+            grads[f"head{i}.a_dst"] = da_dst[i]
+        if not need_input_grad:
+            return None, grads
+        # ONE transpose exchange of the stacked row terms.
+        dhp_flat = col_term + transpose_exchange(grid, row_term, sequencer)
+        gamma = mm(dhp_flat, self._stacked_weight().T, counter=counter)
         return gamma, grads
 
     def parameters(self):

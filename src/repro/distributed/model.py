@@ -149,6 +149,9 @@ def build_dist_model(
         activation = "elu" if name.lower() == "gat" else "relu"
     rng = make_rng(seed)
     heads = layer_kwargs.pop("heads", 1)
+    # Head-batched execution is a multi-head concern; single-head layer
+    # classes never see the flag.
+    batched = layer_kwargs.pop("batched", True)
     if heads > 1:
         if name.lower() != "gat":
             raise ValueError("multi-head execution is a GAT feature")
@@ -166,6 +169,7 @@ def build_dist_model(
                     activation="identity" if last else activation,
                     seed=rng,
                     dtype=dtype,
+                    batched=batched,
                     **layer_kwargs,
                 )
             )

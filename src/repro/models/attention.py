@@ -45,10 +45,15 @@ def score_gradient(
 
     One SDDMM into a pooled scratch vector — safe because every caller
     consumes ``dS`` synchronously in the Ψ VJP that follows.
+    Head-batched operands ``(n, heads, k)`` yield stacked
+    ``(nnz, heads)`` score gradients.
     """
+    left = np.asarray(left)
+    right = np.asarray(right)
+    shape = (a.nnz,) if left.ndim == 2 else (a.nnz, left.shape[1])
     return sddmm_dot(
         a, left, right, counter=counter,
-        out=workspace("model.ds", (a.nnz,), np.result_type(left, right)),
+        out=workspace("model.ds", shape, np.result_type(left, right)),
     )
 
 

@@ -135,8 +135,17 @@ class MultiHeadGATLayer(GnnLayer):
     ``combine="concat"`` concatenates head outputs (hidden layers of
     the GAT paper; output width ``heads * out_dim``);
     ``combine="mean"`` averages them (output layers; width ``out_dim``).
-    Each head is a full :class:`GATLayer` sharing this wrapper's
-    activation, so forward/backward reuse the single-head kernels.
+
+    With ``batched=True`` (the default) all heads execute in a single
+    kernel sweep per op: the per-head weights live as column blocks of
+    one stacked ``(in, heads*out)`` matrix, attention scores are
+    stacked ``(nnz, heads)`` edge values over the shared pattern, and
+    every SpMM/SDDMM/softmax call runs once for all heads.
+    ``batched=False`` keeps the original per-head loop of full
+    :class:`GATLayer` objects as a correctness oracle. Both modes share
+    the same parameter storage (each head's ``weight``/``a_src``/
+    ``a_dst`` is a view into the stacked arrays), so the flag can be
+    flipped on a live model and checkpoints are interchangeable.
     """
 
     def __init__(
@@ -149,6 +158,7 @@ class MultiHeadGATLayer(GnnLayer):
         slope: float = 0.2,
         seed: int | np.random.Generator | None = 0,
         dtype: np.dtype | type = np.float32,
+        batched: bool = True,
     ) -> None:
         super().__init__(activation)
         if combine not in ("concat", "mean"):
@@ -164,8 +174,33 @@ class MultiHeadGATLayer(GnnLayer):
             for _ in range(heads)
         ]
         self.combine = combine
+        self.batched = batched
+        self.slope = slope
         self.in_dim = in_dim
+        self.head_dim = out_dim
+        self.num_heads = heads
         self.out_dim = out_dim * heads if combine == "concat" else out_dim
+        # Stacked parameter storage; per-head attributes become
+        # *contiguous* views (head-major stacking) so both execution
+        # paths, in-place SGD updates, np.copyto-based checkpoint loads
+        # and flat-index perturbation (gradcheck) all see one memory.
+        self._w_stack = np.stack([head.weight for head in self.heads])
+        self._a_src_mat = np.stack([head.a_src for head in self.heads])
+        self._a_dst_mat = np.stack([head.a_dst for head in self.heads])
+        for index, head in enumerate(self.heads):
+            head.weight = self._w_stack[index]
+            head.a_src = self._a_src_mat[index]
+            head.a_dst = self._a_dst_mat[index]
+
+    def _stacked_weight(self) -> np.ndarray:
+        """The ``(in, heads*d)`` column-block weight for batched matmuls.
+
+        Materialised per call (cheap next to the matmuls it feeds) so
+        in-place parameter updates are always reflected.
+        """
+        return self._w_stack.transpose(1, 0, 2).reshape(
+            self.in_dim, self.num_heads * self.head_dim
+        )
 
     # ------------------------------------------------------------------
     def forward(
@@ -175,6 +210,8 @@ class MultiHeadGATLayer(GnnLayer):
         counter: FlopCounter = null_counter(),
         training: bool = True,
     ) -> tuple[np.ndarray, Any]:
+        if self.batched:
+            return self._forward_batched(a, h, counter, training)
         outputs, caches = [], []
         for head in self.heads:
             out, cache = head.forward(a, h, counter=counter, training=training)
@@ -190,13 +227,44 @@ class MultiHeadGATLayer(GnnLayer):
         cache = _MultiHeadCache(caches=caches, z=z)
         return h_next, cache
 
+    def _forward_batched(
+        self,
+        a: CSRMatrix,
+        h: np.ndarray,
+        counter: FlopCounter,
+        training: bool,
+    ) -> tuple[np.ndarray, Any]:
+        n = h.shape[0]
+        heads, d = self.num_heads, self.head_dim
+        hp = mm(h, self._stacked_weight(), counter=counter).reshape(
+            n, heads, d
+        )
+        s, psi_cache = psi_gat(
+            a, hp, self._a_src_mat, self._a_dst_mat,
+            slope=self.slope, counter=counter,
+        )
+        zh = spmm(s, hp, counter=counter)
+        if self.combine == "concat":
+            z = zh.reshape(n, heads * d)
+        else:
+            z = zh.mean(axis=1)
+        h_next = self.activation.fn(z)
+        if not training:
+            return h_next, None
+        cache = _BatchedMultiHeadCache(
+            a=a, h=h, s=s, psi_cache=psi_cache, hp=hp, z=z
+        )
+        return h_next, cache
+
     # ------------------------------------------------------------------
     def backward(
         self,
-        cache: "_MultiHeadCache",
+        cache: Any,
         g: np.ndarray,
         counter: FlopCounter = null_counter(),
     ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        if isinstance(cache, _BatchedMultiHeadCache):
+            return self._backward_batched(cache, g, counter)
         n_heads = len(self.heads)
         if self.combine == "concat":
             width = g.shape[1] // n_heads
@@ -220,6 +288,36 @@ class MultiHeadGATLayer(GnnLayer):
                 grads[f"head{index}.{name}"] = value
         return dh, grads
 
+    def _backward_batched(
+        self,
+        cache: "_BatchedMultiHeadCache",
+        g: np.ndarray,
+        counter: FlopCounter,
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        n = g.shape[0]
+        heads, d = self.num_heads, self.head_dim
+        if self.combine == "concat":
+            g_b = np.ascontiguousarray(g).reshape(n, heads, d)
+        else:
+            # Mean combine: each head sees dL/dZ_h = g / heads.
+            g_b = np.broadcast_to((g / heads)[:, None, :], (n, heads, d))
+        ds = score_gradient(cache.a, g_b, cache.hp, counter=counter)
+        dhp_psi, da_src, da_dst = psi_gat_vjp(
+            ds, cache.psi_cache, counter=counter
+        )
+        # Two paths into H': aggregation (S^T G) and attention (rank-1s),
+        # exactly as in GATLayer.backward, with all heads stacked.
+        dhp = spmm(cache.s.transpose(), g_b, counter=counter) + dhp_psi
+        dhp_flat = dhp.reshape(n, heads * d)
+        d_weight = mm(cache.h.T, dhp_flat, counter=counter)
+        dh = mm(dhp_flat, self._stacked_weight().T, counter=counter)
+        grads: dict[str, np.ndarray] = {}
+        for i in range(heads):
+            grads[f"head{i}.weight"] = d_weight[:, i * d : (i + 1) * d]
+            grads[f"head{i}.a_src"] = da_src[i]
+            grads[f"head{i}.a_dst"] = da_dst[i]
+        return dh, grads
+
     # ------------------------------------------------------------------
     def parameters(self) -> dict[str, np.ndarray]:
         params: dict[str, np.ndarray] = {}
@@ -235,6 +333,16 @@ class _MultiHeadCache:
     z: np.ndarray
 
 
+@dataclass
+class _BatchedMultiHeadCache:
+    a: CSRMatrix
+    h: np.ndarray
+    s: CSRMatrix
+    psi_cache: Any
+    hp: np.ndarray
+    z: np.ndarray
+
+
 def gat_model(
     in_dim: int,
     hidden_dim: int,
@@ -245,12 +353,15 @@ def gat_model(
     heads: int = 1,
     seed: int = 0,
     dtype: np.dtype | type = np.float32,
+    batched: bool = True,
 ) -> GnnModel:
     """Build an ``num_layers``-deep GAT model.
 
     With ``heads == 1`` (the paper's benchmarked configuration) plain
     :class:`GATLayer` stacks are used; with ``heads > 1`` hidden layers
-    concatenate heads and the final layer averages them.
+    concatenate heads and the final layer averages them. ``batched``
+    selects the all-heads-in-one-sweep execution path of
+    :class:`MultiHeadGATLayer` (default) or the per-head oracle loop.
     """
     rng = make_rng(seed)
     layers: list[GnnLayer] = []
@@ -281,6 +392,7 @@ def gat_model(
                     slope=slope,
                     seed=rng,
                     dtype=dtype,
+                    batched=batched,
                 )
             )
             current = hidden_dim * heads if not last else out_dim

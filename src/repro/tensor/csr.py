@@ -44,7 +44,11 @@ class CSRMatrix:
         Column index of each stored entry, row-major sorted. Frozen on
         construction.
     data:
-        Value of each stored entry (stays writable).
+        Value of each stored entry (stays writable). Either a scalar
+        per entry — shape ``(nnz,)`` — or a stacked per-head value
+        vector — shape ``(nnz, heads)`` — for the batched multi-head
+        kernels; all structural operations act on the leading (entry)
+        axis only.
     shape:
         ``(n_rows, n_cols)``.
     """
@@ -62,8 +66,12 @@ class CSRMatrix:
         indices = np.asarray(indices, dtype=np.int64)
         data = np.asarray(data)
         shape = (int(shape[0]), int(shape[1]))
-        if indices.shape != data.shape:
-            raise ValueError("indices and data must have the same length")
+        if indices.ndim != 1:
+            raise ValueError("indices must be one-dimensional")
+        if data.ndim not in (1, 2) or data.shape[0] != indices.shape[0]:
+            raise ValueError(
+                "data must be (nnz,) or (nnz, heads) matching indices length"
+            )
         # An interned structure means these exact arrays already passed
         # validation for this shape (and cannot have been mutated since:
         # they are frozen), so the O(n + nnz) checks are skipped.
@@ -92,9 +100,9 @@ class CSRMatrix:
     ) -> "CSRMatrix":
         """Construct over an already-interned structure (no validation)."""
         data = np.asarray(data)
-        if data.shape != structure.indices.shape:
+        if data.ndim not in (1, 2) or data.shape[0] != structure.indices.shape[0]:
             raise ValueError(
-                f"data length {data.shape} does not match pattern nnz "
+                f"data shape {data.shape} does not match pattern nnz "
                 f"{structure.indices.shape}"
             )
         obj = cls.__new__(cls)
@@ -159,14 +167,20 @@ class CSRMatrix:
         row_factors = np.asarray(row_factors)
         if row_factors.shape != (self.shape[0],):
             raise ValueError("row_factors must have length n_rows")
-        return self.with_data(self.data * row_factors[self.expand_rows()])
+        factors = row_factors[self.expand_rows()]
+        if self.data.ndim == 2:
+            factors = factors[:, None]
+        return self.with_data(self.data * factors)
 
     def scale_cols(self, col_factors: np.ndarray) -> "CSRMatrix":
         """Multiply each column by a scalar: ``X @ diag(f)`` (same pattern)."""
         col_factors = np.asarray(col_factors)
         if col_factors.shape != (self.shape[1],):
             raise ValueError("col_factors must have length n_cols")
-        return self.with_data(self.data * col_factors[self.indices])
+        factors = col_factors[self.indices]
+        if self.data.ndim == 2:
+            factors = factors[:, None]
+        return self.with_data(self.data * factors)
 
     def row_sum(self) -> np.ndarray:
         """Per-row sum of stored values — ``sum(X) = X @ 1`` of Table 2."""
@@ -318,8 +332,11 @@ class CSRMatrix:
         return out
 
     def to_dense(self) -> np.ndarray:
-        """Materialise as dense. Reference/testing use only."""
-        out = np.zeros(self.shape, dtype=self.dtype)
+        """Materialise as dense. Reference/testing use only.
+
+        Head-batched matrices yield ``(n, m, heads)``.
+        """
+        out = np.zeros(self.shape + self.data.shape[1:], dtype=self.dtype)
         out[self.expand_rows(), self.indices] = self.data
         return out
 
@@ -327,8 +344,15 @@ class CSRMatrix:
         """View as ``scipy.sparse.csr_matrix`` (shares buffers).
 
         The scipy wrapper (including its int32 index downcast) is built
-        once per pattern and shallow-cloned per call.
+        once per pattern and shallow-cloned per call. Only scalar edge
+        values have a scipy counterpart; head-batched matrices must go
+        through the head-interleaved view used by the batched SpMM.
         """
+        if self.data.ndim != 1:
+            raise ValueError(
+                "to_scipy requires scalar edge values; head-batched "
+                "matrices use structure.head_scipy_view"
+            )
         return self._structure.scipy_view(self.data)
 
     @classmethod

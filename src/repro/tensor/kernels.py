@@ -48,13 +48,44 @@ __all__ = [
     "masked_row_softmax_backward",
     "set_default_backend",
     "get_default_backend",
+    "get_sddmm_chunk",
 ]
 
-#: Edge-chunk size for SDDMM gathers; bounds peak scratch memory to
-#: ``2 * CHUNK * k`` floats regardless of nnz. 32k entries keeps both
-#: gather buffers inside the last-level cache at typical feature widths
-#: (measured ~2x faster than the previous 1M-entry chunks at k=64).
-_SDDMM_CHUNK = 1 << 15
+#: Environment override for the SDDMM edge-chunk size (entries), read
+#: once at import and validated like ``REPRO_SPMM_BACKEND``.
+_SDDMM_CHUNK_ENV_VAR = "REPRO_SDDMM_CHUNK"
+
+#: Default edge-chunk size for SDDMM gathers; bounds peak scratch
+#: memory to ``2 * CHUNK * k`` floats regardless of nnz. 32k entries
+#: keeps both gather buffers inside the last-level cache at typical
+#: feature widths (measured ~2x faster than 1M-entry chunks at k=64).
+_DEFAULT_SDDMM_CHUNK = 1 << 15
+
+
+def _initial_sddmm_chunk() -> int:
+    env = os.environ.get(_SDDMM_CHUNK_ENV_VAR, "").strip()
+    if not env:
+        return _DEFAULT_SDDMM_CHUNK
+    try:
+        chunk = int(env)
+    except ValueError:
+        raise ValueError(
+            f"${_SDDMM_CHUNK_ENV_VAR}={env!r}: must be a positive integer"
+        ) from None
+    if chunk <= 0:
+        raise ValueError(
+            f"${_SDDMM_CHUNK_ENV_VAR}={env!r}: must be a positive integer"
+        )
+    return chunk
+
+
+_SDDMM_CHUNK = _initial_sddmm_chunk()
+
+
+def get_sddmm_chunk() -> int:
+    """The active SDDMM edge-chunk size (default or env override)."""
+    return _SDDMM_CHUNK
+
 
 _VALID_BACKENDS = ("scipy", "reference")
 
@@ -111,10 +142,16 @@ def mm(
     b: np.ndarray,
     counter: FlopCounter = null_counter(),
 ) -> np.ndarray:
-    """Dense matrix product ``a @ b`` with flop accounting (2mkn)."""
+    """Dense matrix product ``a @ b`` with flop accounting (2mkn).
+
+    ``a`` may carry leading batch axes (e.g. a head-stacked
+    ``(n, heads, k)`` operand against a shared ``(k, k')`` weight); the
+    flop count ``2 · a.size · k'`` then equals the summed per-head
+    counts exactly.
+    """
     a = np.asarray(a)
     b = np.asarray(b)
-    counter.add(2 * a.shape[0] * a.shape[-1] * b.shape[-1], "MM")
+    counter.add(2 * a.size * b.shape[-1], "MM")
     return a @ b
 
 
@@ -138,6 +175,10 @@ def spmm(
         :func:`~repro.tensor.semiring.adjacency_values`.
     h:
         Dense ``m x k`` matrix (a 1-D vector is treated as ``m x 1``).
+        When ``a`` carries stacked per-head values ``(nnz, heads)``,
+        ``h`` must be head-batched too: ``(m, heads, k)`` or the flat
+        equivalent ``(m, heads * k)``; the result mirrors the operand
+        layout (``(n, heads, k)`` or ``(n, heads * k)``).
     semiring:
         Aggregation semiring; defaults to the real semiring (sum
         aggregation).
@@ -152,6 +193,10 @@ def spmm(
     tropical semirings).
     """
     h = np.asarray(h)
+    if a.data.ndim == 2:
+        return _spmm_batched(
+            a, h, semiring=semiring, backend=backend, counter=counter
+        )
     squeeze = h.ndim == 1
     if squeeze:
         h = h[:, None]
@@ -172,6 +217,70 @@ def spmm(
     return out[:, 0] if squeeze else out
 
 
+def _spmm_batched(
+    a: CSRMatrix,
+    h: np.ndarray,
+    semiring: Semiring,
+    backend: str | None,
+    counter: FlopCounter,
+) -> np.ndarray:
+    """All-heads-at-once SpMM over stacked edge values ``(nnz, heads)``.
+
+    One traversal of the shared pattern serves every head: the scipy
+    path multiplies through the cached head-interleaved
+    ``(n·heads) x (m·heads)`` pattern (a single BLAS-backed sweep), the
+    reference path runs one gather + one segment reduction on the
+    ``(nnz, heads, k)`` stack. Flop counts are exactly the summed
+    per-head counts (``2·nnz·heads·k``).
+    """
+    heads = a.data.shape[1]
+    flat = h.ndim == 2
+    if flat:
+        if h.shape[1] % heads:
+            raise ValueError(
+                f"flat operand width {h.shape[1]} is not a multiple of "
+                f"heads={heads}"
+            )
+        h = h.reshape(h.shape[0], heads, -1)
+    if h.ndim != 3 or h.shape[1] != heads:
+        raise ValueError(
+            f"batched SpMM needs a (m, {heads}, k) or (m, {heads}*k) "
+            f"operand, got shape {np.shape(h)}"
+        )
+    if a.shape[1] != h.shape[0]:
+        raise ValueError(f"dimension mismatch: {a.shape} @ {h.shape}")
+    k = h.shape[2]
+    counter.add(2 * a.nnz * heads * k, "SpMM")
+    resolved = _resolve_backend(backend)
+    if semiring is REAL and resolved == "scipy":
+        out = _spmm_batched_scipy(a, h)
+    elif semiring is AVERAGE or semiring.pair_valued:
+        num = _spmm_reference(a, h, REAL)
+        den = segment_sum(a.data, a.indptr)
+        safe = np.where(den == 0, 1, den).astype(h.dtype)
+        out = num / safe[:, :, None]
+        out[den == 0] = 0
+    else:
+        out = _spmm_reference(a, h, semiring)
+    return out.reshape(a.shape[0], heads * k) if flat else out
+
+
+def _spmm_batched_scipy(a: CSRMatrix, h: np.ndarray) -> np.ndarray:
+    """Real-semiring batched SpMM via the head-interleaved scipy view."""
+    heads = a.data.shape[1]
+    n, m = a.shape
+    k = h.shape[2]
+    _, _, perm = a.structure.head_interleave(heads)
+    data_x = workspace("spmm.head_data", (a.nnz * heads,), a.data.dtype)
+    stacked = (
+        a.data if a.data.flags.c_contiguous else np.ascontiguousarray(a.data)
+    )
+    np.take(stacked.reshape(-1), perm, out=data_x, mode="clip")
+    mat = a.structure.head_scipy_view(heads, data_x)
+    out = mat @ h.reshape(m * heads, k)
+    return out.reshape(n, heads, k)
+
+
 def _spmm_reference(
     a: CSRMatrix, h: np.ndarray, semiring: Semiring,
     out: np.ndarray | None = None,
@@ -181,21 +290,27 @@ def _spmm_reference(
     The O(nnz·k) gather/combine temporaries live in pooled workspaces
     (see :mod:`repro.tensor.workspace`); only the result is fresh,
     unless the caller supplies ``out``.
+
+    Handles the head-batched layout as well: ``h`` may be
+    ``(m, heads, k)`` against stacked ``(nnz, heads)`` edge values —
+    the single gather and the single segment reduction then serve all
+    heads at once.
     """
     n = a.shape[0]
-    k = h.shape[1]
-    result = out if out is not None else np.empty((n, k), dtype=h.dtype)
+    feat = h.shape[1:]
+    result = out if out is not None else np.empty((n,) + feat, dtype=h.dtype)
     if a.nnz == 0:
         result.fill(semiring.zero)
         return result
     cdtype = np.result_type(a.data, h)
-    gathered = workspace("spmm.gather", (a.nnz, k), h.dtype)
+    gathered = workspace("spmm.gather", (a.nnz,) + feat, h.dtype)
     np.take(h, a.indices, axis=0, out=gathered, mode="clip")
     if cdtype == h.dtype:
         combined = gathered
     else:
-        combined = workspace("spmm.combine", (a.nnz, k), cdtype)
-    semiring.mul(a.data[:, None], gathered, out=combined)
+        combined = workspace("spmm.combine", (a.nnz,) + feat, cdtype)
+    edge_vals = a.data[:, None] if a.data.ndim == 1 else a.data[:, :, None]
+    semiring.mul(edge_vals, gathered, out=combined)
     lengths = a.row_lengths()
     # Reduce over non-empty rows only (see segment._reduceat for the
     # reduceat quirks this avoids); empty rows get the additive identity.
@@ -203,7 +318,7 @@ def _spmm_reference(
         if cdtype == result.dtype:
             semiring.add.reduceat(combined, a.indptr[:-1], axis=0, out=result)
         else:
-            red = workspace("spmm.reduce", (n, k), cdtype)
+            red = workspace("spmm.reduce", (n,) + feat, cdtype)
             semiring.add.reduceat(combined, a.indptr[:-1], axis=0, out=red)
             # "unsafe" matches the old trailing astype(h.dtype) exactly.
             np.copyto(result, red, casting="unsafe")
@@ -242,7 +357,7 @@ def sddmm_dot(
     x: np.ndarray,
     y: np.ndarray,
     counter: FlopCounter = null_counter(),
-    chunk: int = _SDDMM_CHUNK,
+    chunk: int | None = None,
     out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Per-edge dot products: ``e_rc = x[r] . y[c]`` for stored ``(r, c)``.
@@ -254,29 +369,45 @@ def sddmm_dot(
     cache and the two edge gathers run through pooled workspaces, so a
     steady-state call allocates only the returned value vector (or
     nothing, with ``out=``).
+
+    Head-batched operands ``(n, heads, k)`` produce ``(nnz, heads)``
+    per-edge values — one pattern sweep computes every head's dot
+    product, with flops equal to the summed per-head counts.
     """
     x = np.asarray(x)
     y = np.asarray(y)
-    if x.shape[1] != y.shape[1]:
+    if x.ndim not in (2, 3) or x.ndim != y.ndim:
+        raise ValueError("sddmm_dot operands must both be 2-D or both 3-D")
+    if x.shape[1:] != y.shape[1:]:
         raise ValueError("feature dimensions differ in sddmm_dot")
     if x.shape[0] != pattern.shape[0] or y.shape[0] != pattern.shape[1]:
         raise ValueError("operand row counts do not match pattern shape")
+    if chunk is None:
+        chunk = _SDDMM_CHUNK
     nnz = pattern.nnz
-    counter.add(2 * nnz * x.shape[1], "SDDMM")
+    feat = x.shape[1:]
+    if x.ndim == 3:
+        # The chunk budget counts edges at single-head width; stacked
+        # operands gather ``heads`` times more scalars per edge, so shrink
+        # the edge chunk to keep the scratch buffers cache-sized (measured
+        # ~2x on 8-head float64 SDDMMs versus head-oblivious chunking).
+        chunk = max(1, chunk // feat[0])
+    counter.add(2 * nnz * int(np.prod(feat)), "SDDMM")
     rows = pattern.expand_rows()
     cols = pattern.indices
     if out is None:
-        out = np.empty(nnz, dtype=np.result_type(x, y))
+        out = np.empty((nnz,) + feat[:-1], dtype=np.result_type(x, y))
     csize = min(chunk, nnz)
-    gx = workspace("sddmm_dot.x", (csize, x.shape[1]), x.dtype)
-    gy = workspace("sddmm_dot.y", (csize, y.shape[1]), y.dtype)
+    gx = workspace("sddmm_dot.x", (csize,) + feat, x.dtype)
+    gy = workspace("sddmm_dot.y", (csize,) + feat, y.dtype)
+    spec = "ij,ij->i" if x.ndim == 2 else "ihj,ihj->ih"
     for start in range(0, nnz, chunk):
         stop = min(start + chunk, nnz)
         bx = gx[: stop - start]
         by = gy[: stop - start]
         np.take(x, rows[start:stop], axis=0, out=bx, mode="clip")
         np.take(y, cols[start:stop], axis=0, out=by, mode="clip")
-        np.einsum("ij,ij->i", bx, by, out=out[start:stop])
+        np.einsum(spec, bx, by, out=out[start:stop])
     return out
 
 
@@ -290,19 +421,31 @@ def sddmm_add(
 
     The GAT logit kernel: the virtual matrix
     :math:`C = \\mathrm{rep}(u) + \\mathrm{rep}^T(v)` of Figure 2 is
-    sampled directly on the adjacency pattern.
+    sampled directly on the adjacency pattern. Head-stacked operands
+    ``(n, heads)`` yield stacked ``(nnz, heads)`` logits in the same
+    two gathers.
     """
     u = np.asarray(u)
     v = np.asarray(v)
-    if u.shape != (pattern.shape[0],) or v.shape != (pattern.shape[1],):
-        raise ValueError("u/v must be vectors matching the pattern shape")
+    if (
+        u.ndim not in (1, 2)
+        or u.ndim != v.ndim
+        or u.shape[1:] != v.shape[1:]
+        or u.shape[0] != pattern.shape[0]
+        or v.shape[0] != pattern.shape[1]
+    ):
+        raise ValueError(
+            "u/v must be matching vectors or (n, heads) stacks matching "
+            "the pattern shape"
+        )
     nnz = pattern.nnz
-    counter.add(nnz, "SDDMM")
-    gu = workspace("sddmm_add.u", (nnz,), u.dtype)
-    gv = workspace("sddmm_add.v", (nnz,), v.dtype)
-    np.take(u, pattern.expand_rows(), out=gu, mode="clip")
-    np.take(v, pattern.indices, out=gv, mode="clip")
-    out = np.empty(nnz, dtype=np.result_type(u, v))
+    shape = (nnz,) + u.shape[1:]
+    counter.add(nnz * int(np.prod(u.shape[1:])), "SDDMM")
+    gu = workspace("sddmm_add.u", shape, u.dtype)
+    gv = workspace("sddmm_add.v", shape, v.dtype)
+    np.take(u, pattern.expand_rows(), axis=0, out=gu, mode="clip")
+    np.take(v, pattern.indices, axis=0, out=gv, mode="clip")
+    out = np.empty(shape, dtype=np.result_type(u, v))
     np.add(gu, gv, out=out)
     return out
 
@@ -313,7 +456,7 @@ def sddmm_cosine(
     norms: np.ndarray | None = None,
     eps: float = 1e-12,
     counter: FlopCounter = null_counter(),
-    chunk: int = _SDDMM_CHUNK,
+    chunk: int | None = None,
     out: np.ndarray | None = None,
     with_denom: bool = False,
 ) -> tuple[np.ndarray, ...]:
@@ -339,20 +482,21 @@ def sddmm_cosine(
     """
     h = np.asarray(h)
     if norms is None:
-        norms = np.sqrt(np.einsum("ij,ij->i", h, h))
-        counter.add(2 * h.shape[0] * h.shape[1], "norms")
+        norms = np.sqrt(np.einsum("...j,...j->...", h, h))
+        counter.add(2 * h.size, "norms")
     values = sddmm_dot(pattern, h, h, counter=counter, chunk=chunk, out=out)
     nnz = pattern.nnz
-    counter.add(2 * nnz, "SDDMM")
+    eshape = (nnz,) + h.shape[1:-1]
+    counter.add(2 * nnz * int(np.prod(h.shape[1:-1])), "SDDMM")
     rows = pattern.expand_rows()
     ndtype = norms.dtype
     if with_denom:
-        denom = np.empty(nnz, dtype=ndtype)
+        denom = np.empty(eshape, dtype=ndtype)
     else:
-        denom = workspace("sddmm_cosine.denom", (nnz,), ndtype)
-    tmp = workspace("sddmm_cosine.tmp", (nnz,), ndtype)
-    np.take(norms, rows, out=denom, mode="clip")
-    np.take(norms, pattern.indices, out=tmp, mode="clip")
+        denom = workspace("sddmm_cosine.denom", eshape, ndtype)
+    tmp = workspace("sddmm_cosine.tmp", eshape, ndtype)
+    np.take(norms, rows, axis=0, out=denom, mode="clip")
+    np.take(norms, pattern.indices, axis=0, out=tmp, mode="clip")
     np.multiply(denom, tmp, out=denom)
     np.maximum(denom, eps, out=denom)
     np.divide(values, denom, out=values)
@@ -379,12 +523,24 @@ def spmmm(
     ``2 nnz k + 2 n k k'`` while ``A (B C)`` costs ``2 m k k' + 2 nnz k'``;
     for tall-skinny ``B`` and small ``C`` the difference is the
     :math:`\\Phi \\circ \\oplus` composition-order choice of Section 4.4.
+
+    When ``a`` carries stacked per-head values ``(nnz, heads)``, ``b``
+    must be head-batched ``(m, heads, k)`` and ``c`` stays a shared
+    ``(k, k')`` weight; both association orders then cost ``heads``
+    times their per-head figure, so the order choice matches the
+    per-head loop exactly.
     """
     b = np.asarray(b)
     c = np.asarray(c)
-    k, kp = b.shape[1], c.shape[1]
-    cost_left = 2 * a.nnz * k + 2 * a.shape[0] * k * kp
-    cost_right = 2 * b.shape[0] * k * kp + 2 * a.nnz * kp
+    heads = a.data.shape[1] if a.data.ndim == 2 else 1
+    if heads > 1 and (b.ndim != 3 or b.shape[1] != heads):
+        raise ValueError(
+            f"batched SpMMM needs a (m, {heads}, k) middle operand, got "
+            f"shape {b.shape}"
+        )
+    k, kp = b.shape[-1], c.shape[1]
+    cost_left = heads * (2 * a.nnz * k + 2 * a.shape[0] * k * kp)
+    cost_right = heads * (2 * b.shape[0] * k * kp + 2 * a.nnz * kp)
     if cost_left <= cost_right:
         return mm(
             spmm(a, b, semiring=semiring, backend=backend, counter=counter),
@@ -411,9 +567,17 @@ def mspmm(
     is cheaper, otherwise as ``((A^T D^T))^T E`` — both reuse the SpMM
     kernel, since a dense-times-sparse product is the transpose of a
     sparse-times-dense one.
+
+    With stacked per-head values ``(nnz, heads)`` on ``a``, ``d`` is a
+    shared ``(kd, n)`` left operand, ``e`` a head-batched
+    ``(m, heads, ke)`` right operand, and the result is per-head:
+    ``(heads, kd, ke)`` — the batched form of the per-head weight
+    gradients.
     """
     d = np.asarray(d)
     e = np.asarray(e)
+    if a.data.ndim == 2:
+        return _mspmm_batched(d, a, e, backend=backend, counter=counter)
     kd, ke = d.shape[0], e.shape[1]
     cost_right = 2 * a.nnz * ke + 2 * d.shape[0] * a.shape[0] * ke
     cost_left = 2 * a.nnz * kd + 2 * kd * a.shape[1] * ke
@@ -425,6 +589,43 @@ def mspmm(
         )
     da = spmm(a.transpose(), d.T, backend=backend, counter=counter).T
     return mm(da, e, counter=counter)
+
+
+def _mspmm_batched(
+    d: np.ndarray,
+    a: CSRMatrix,
+    e: np.ndarray,
+    backend: str | None,
+    counter: FlopCounter,
+) -> np.ndarray:
+    """Head-batched MSpMM: shared ``(kd, n)`` × stacked A × ``(m, H, ke)``.
+
+    Returns ``(heads, kd, ke)``. Association order follows the same
+    flop comparison as the scalar kernel, scaled uniformly by
+    ``heads``, so it agrees with the per-head loop's choice.
+    """
+    heads = a.data.shape[1]
+    if e.ndim != 3 or e.shape[1] != heads:
+        raise ValueError(
+            f"batched MSpMM needs a (m, {heads}, ke) right operand, got "
+            f"shape {e.shape}"
+        )
+    if d.ndim != 2 or d.shape[1] != a.shape[0]:
+        raise ValueError(
+            f"batched MSpMM needs a shared (kd, {a.shape[0]}) left "
+            f"operand, got shape {d.shape}"
+        )
+    kd, ke = d.shape[0], e.shape[2]
+    cost_right = heads * (2 * a.nnz * ke + 2 * kd * a.shape[0] * ke)
+    cost_left = heads * (2 * a.nnz * kd + 2 * kd * a.shape[1] * ke)
+    if cost_right <= cost_left:
+        ae = spmm(a, e, backend=backend, counter=counter)
+        counter.add(2 * heads * kd * a.shape[0] * ke, "MM")
+        return np.einsum("kn,nhe->hke", d, ae)
+    dt = np.broadcast_to(d.T[:, None, :], (a.shape[0], heads, kd))
+    da = spmm(a.transpose(), dt, backend=backend, counter=counter)
+    counter.add(2 * heads * kd * a.shape[1] * ke, "MM")
+    return np.einsum("mhk,mhe->hke", da, e)
 
 
 # ----------------------------------------------------------------------
@@ -442,9 +643,10 @@ def masked_row_softmax(
     \\mathrm{rs}_n(\\exp(\\mathcal{X}))` evaluated without materialising
     the replicated :math:`n \\times n` denominator (Section 6.1). Both
     replications are single gathers through the pattern's cached COO
-    row vector; ``out`` receives the softmax values in place.
+    row vector; ``out`` receives the softmax values in place. Stacked
+    ``(nnz, heads)`` values are normalised per head in the same sweep.
     """
-    counter.add(5 * s.nnz, "softmax")
+    counter.add(5 * s.data.size, "softmax")
     return s.with_data(
         segment_softmax(s.data, s.indptr, rows=s.expand_rows(), out=out)
     )
@@ -454,6 +656,7 @@ def masked_row_softmax_backward(
     softmax_values: np.ndarray,
     grad_values: np.ndarray,
     indptr: np.ndarray,
+    rows: np.ndarray | None = None,
     counter: FlopCounter = null_counter(),
 ) -> np.ndarray:
     """Gradient of :func:`masked_row_softmax` w.r.t. its pre-softmax input.
@@ -464,8 +667,18 @@ def masked_row_softmax_backward(
 
     i.e. each row subtracts the row-scalar :math:`\\langle S, dS\\rangle`
     before rescaling — the Jacobian-vector product expressed with the
-    Table-2 building blocks ``sum`` and ``rep`` only.
+    Table-2 building blocks ``sum`` and ``rep`` only. ``rows`` (the
+    pattern's cached COO row vector) routes the replication through a
+    pooled gather buffer instead of a fresh ``repeat``.
     """
-    counter.add(4 * softmax_values.shape[0], "softmax_bwd")
+    counter.add(4 * softmax_values.size, "softmax_bwd")
     inner = segment_sum(softmax_values * grad_values, indptr)
+    if rows is not None:
+        rep = expand_segments(
+            inner, indptr, rows=rows,
+            out=workspace(
+                "softmax_bwd.rep", softmax_values.shape, inner.dtype
+            ),
+        )
+        return softmax_values * (grad_values - rep)
     return softmax_values * (grad_values - expand_segments(inner, indptr))

@@ -95,11 +95,25 @@ def bincount_sum(
     cast back to ``weights``' dtype. Replaces ``np.add.at``, which
     dispatches per element, on all column-scatter paths (``col_sum``,
     GAT/AGNN column gradients).
+
+    ``weights`` may be 2-D (``(nnz, heads)`` stacked per-head values);
+    the scatter then runs as one C pass over offset bins
+    ``indices[e] * heads + h`` and returns ``(minlength, heads)``.
     """
     weights = np.asarray(weights)
-    out = np.bincount(
-        np.asarray(indices), weights=weights, minlength=minlength
-    )
+    indices = np.asarray(indices)
+    if weights.ndim == 2:
+        heads = weights.shape[1]
+        keys = indices[:, None] * np.int64(heads) + np.arange(
+            heads, dtype=np.int64
+        )
+        out = np.bincount(
+            keys.reshape(-1),
+            weights=np.ascontiguousarray(weights).reshape(-1),
+            minlength=minlength * heads,
+        )
+        return out.reshape(minlength, heads).astype(weights.dtype, copy=False)
+    out = np.bincount(indices, weights=weights, minlength=minlength)
     return out.astype(weights.dtype, copy=False)
 
 
@@ -163,12 +177,14 @@ def segment_softmax(
         from repro.tensor.workspace import workspace
 
         rep = workspace("segment_softmax.rep", values.shape, res_dtype)
-        np.take(shift, rows, out=rep, mode="clip")
+        # axis=0 keeps the per-segment rows aligned for 2-D (batched
+        # per-head) values; for 1-D values it matches the flat take.
+        np.take(shift, rows, axis=0, out=rep, mode="clip")
         np.subtract(values, rep, out=result)
         np.exp(result, out=result)
         denom = segment_sum(result, indptr)
         denom = np.where(denom == 0, 1, denom)
-        np.take(denom, rows, out=rep, mode="clip")
+        np.take(denom, rows, axis=0, out=rep, mode="clip")
         np.divide(result, rep, out=result)
         return result
     exp = np.exp(values - expand_segments(shift, indptr))

@@ -64,6 +64,7 @@ class PatternStructure:
         "_tperm",
         "_transpose",
         "_scipy_proto",
+        "_head_cache",
         "__weakref__",
     )
 
@@ -78,6 +79,7 @@ class PatternStructure:
         self._tperm: np.ndarray | None = None
         self._transpose: "PatternStructure | None" = None
         self._scipy_proto = None
+        self._head_cache: dict[int, list] = {}
 
     @property
     def nnz(self) -> int:
@@ -177,6 +179,83 @@ class PatternStructure:
             event_counter().bump("scipy_view.hit")
         view = copy.copy(proto)
         view.data = data
+        return view
+
+    # ------------------------------------------------------------------
+    # Head-interleaved pattern (batched multi-head kernels)
+    # ------------------------------------------------------------------
+    def head_interleave(self, heads: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The head-interleaved expansion of this pattern, cached per ``heads``.
+
+        For stacked edge values of shape ``(nnz, heads)`` the batched
+        real-semiring SpMM runs as **one** sparse product over an
+        ``(n·heads) x (m·heads)`` block-diagonal-per-entry pattern: row
+        ``r·heads + h`` holds row ``r``'s entries at columns
+        ``c·heads + h``, so every head's aggregation happens in a single
+        CSR sweep. Returns ``(indptr_x, indices_x, perm)`` where
+        ``perm`` gathers the expanded entry values from the C-order
+        ravel of the stacked ``(nnz, heads)`` data
+        (``perm[i] = e_i * heads + h_i``). All three arrays are frozen.
+        """
+        heads = int(heads)
+        if heads < 1:
+            raise ValueError("heads must be >= 1")
+        cache = self._head_cache.get(heads)
+        if cache is None:
+            n = self.shape[0]
+            lengths = self.row_lengths()
+            lengths_x = np.repeat(lengths, heads)
+            indptr_x = np.zeros(n * heads + 1, dtype=np.int64)
+            np.cumsum(lengths_x, out=indptr_x[1:])
+            total = self.nnz * heads
+            if total:
+                # Ragged-range gather: block b = (r, h) spans entries
+                # indptr[r] + j for j < lengths[r].
+                starts_x = np.repeat(self.indptr[:-1], heads)
+                e = np.repeat(starts_x - indptr_x[:-1], lengths_x)
+                e += np.arange(total, dtype=np.int64)
+                h = np.repeat(
+                    np.tile(np.arange(heads, dtype=np.int64), n), lengths_x
+                )
+            else:
+                e = np.empty(0, dtype=np.int64)
+                h = np.empty(0, dtype=np.int64)
+            cache = [
+                _freeze(indptr_x),
+                _freeze(self.indices[e] * heads + h),
+                _freeze(e * heads + h),
+                None,  # scipy prototype, built lazily
+            ]
+            self._head_cache[heads] = cache
+            event_counter().bump("head_interleave.computed")
+        else:
+            event_counter().bump("head_interleave.hit")
+        return cache[0], cache[1], cache[2]
+
+    def head_scipy_view(self, heads: int, data_x: np.ndarray):
+        """Scipy CSR view over the head-interleaved pattern.
+
+        ``data_x`` must already be in interleaved entry order (gathered
+        through the ``perm`` of :meth:`head_interleave`). Prototype
+        construction (scipy validation + index downcast) is paid once
+        per ``(pattern, heads)`` pair, like :meth:`scipy_view`.
+        """
+        import scipy.sparse as sp
+
+        indptr_x, indices_x, _ = self.head_interleave(heads)
+        cache = self._head_cache[heads]
+        proto = cache[3]
+        if proto is None:
+            proto = sp.csr_matrix(
+                (data_x, indices_x, indptr_x),
+                shape=(self.shape[0] * heads, self.shape[1] * heads),
+            )
+            cache[3] = proto
+            event_counter().bump("head_scipy_view.built")
+        else:
+            event_counter().bump("head_scipy_view.hit")
+        view = copy.copy(proto)
+        view.data = data_x
         return view
 
 

@@ -5,7 +5,11 @@ the gathers inside :func:`~repro.tensor.kernels.sddmm_dot`,
 :func:`~repro.tensor.kernels._spmm_reference` and the graph softmax
 would otherwise allocate O(nnz·k) temporaries per call. This module
 keeps one growing buffer per ``(tag, dtype)`` pair and hands out
-shaped views of it.
+shaped views of it. Capacity is tracked flat (element count, not
+shape), so the head-batched kernels' wider ``(chunk, heads, k)`` and
+``(nnz, heads)`` requests reuse the same backing store as their
+single-head counterparts — switching a model between the batched and
+per-head paths never thrashes the pool.
 
 Rules of use:
 

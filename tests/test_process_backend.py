@@ -120,6 +120,43 @@ class TestBackendParity:
         assert results["process"].backend == "process"
 
 
+@pytest.fixture(scope="module")
+def multihead_parity_runs(problem):
+    """Head-batched multi-head GAT on both fabrics (two heads keep the
+    spawn cost down; the batched path is head-count independent)."""
+    h = problem.features.astype(np.float64)
+    return {
+        backend: distributed_train(
+            "GAT", problem.adjacency, h, problem.labels, 8, 4,
+            num_layers=2, p=4, epochs=2, lr=0.01,
+            mask=problem.train_mask, seed=5, dtype=np.float64,
+            backend=backend, timeout=120.0, heads=2,
+        )
+        for backend in ("thread", "process")
+    }
+
+
+class TestMultiHeadBackendParity:
+    """The coalesced multi-head transfers must survive the transport
+    swap bit-for-bit, exactly like the single-head layers."""
+
+    def test_losses_and_outputs_bit_match(self, multihead_parity_runs):
+        thread = multihead_parity_runs["thread"]
+        process = multihead_parity_runs["process"]
+        assert thread.losses == process.losses
+        assert np.array_equal(thread.output, process.output)
+
+    def test_comm_stats_identical(self, multihead_parity_runs):
+        thread = multihead_parity_runs["thread"]
+        process = multihead_parity_runs["process"]
+        for t_rank, p_rank in zip(
+            thread.stats.per_rank, process.stats.per_rank
+        ):
+            assert t_rank.bytes_sent == p_rank.bytes_sent
+            assert t_rank.messages_sent == p_rank.messages_sent
+            assert t_rank.by_phase == p_rank.by_phase
+
+
 class TestChildFailure:
     def test_crash_propagates_traceback(self):
         with pytest.raises(RuntimeError) as excinfo:

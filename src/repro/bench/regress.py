@@ -69,6 +69,9 @@ def run_suite(
 ) -> dict[str, float]:
     """Best-of-``repeats`` seconds for each kernel, keyed by name."""
     from repro.bench.harness import make_graph
+    from repro.fusion.layer import DagLayer
+    from repro.models.base import GnnModel
+    from repro.models.gat import MultiHeadGATLayer
     from repro.tensor.kernels import (
         masked_row_softmax,
         sddmm_add,
@@ -76,8 +79,7 @@ def run_suite(
         sddmm_dot,
         spmm,
     )
-
-    from repro.models.gat import MultiHeadGATLayer
+    from repro.tensor.megakernel import attention_backward, attention_forward
 
     rng = np.random.default_rng(0)
     a = make_graph("uniform", n, deg * n, seed=0)
@@ -98,6 +100,45 @@ def run_suite(
         out, cache = mh_layer.forward(mh_a, mh_h)
         mh_layer.backward(cache, mh_g)
 
+    # Single-sweep megakernel on the same 8-head GAT step — the fused
+    # counterpart of ``gat8_multihead_batched`` (SDDMM → softmax → SpMM
+    # in one CSR sweep, backward reusing the saved softmax stats).
+    mk_y = rng.normal(size=(64, 8, 8))
+    mk_dz = rng.normal(size=(64, 8, 8))
+    mk_u = rng.normal(size=(64, 8))
+    mk_v = rng.normal(size=(64, 8))
+
+    def mega_step():
+        z, stats = attention_forward(
+            mh_a, "add", mk_y, u=mk_u, v=mk_v, softmax=True
+        )
+        attention_backward(
+            mh_a, "add", mk_y, mk_dz, stats=stats, u=mk_u, v=mk_v
+        )
+
+    # 3-layer derived-backward training steps, interpreter vs fused —
+    # the end-to-end contest the megakernel has to win (warm caches).
+    dag_a = make_graph("uniform", n, deg * n, seed=1).astype(np.float64)
+    dag_h = rng.normal(size=(n, k))
+    dag_g = rng.normal(size=(n, k))
+
+    def dag_model(name: str, fused: bool, **kw) -> GnnModel:
+        return GnnModel([
+            DagLayer(name, k, k, seed=layer, fused=fused, **kw)
+            for layer in range(3)
+        ])
+
+    def dag_step(model: GnnModel):
+        out = model.forward(dag_a, dag_h, training=True)
+        model.backward(dag_g)
+
+    dag_models = {
+        "dag_gat3_interp": dag_model("gat", fused=False),
+        "dag_gat3_fused": dag_model("gat", fused=True),
+        "dag_agnn3_interp": dag_model("agnn", fused=False, beta=0.8),
+        "dag_agnn3_fused": dag_model("agnn", fused=True, beta=0.8),
+    }
+
     cases = {
         "spmm_scipy": lambda: spmm(a, h, backend="scipy"),
         "spmm_reference": lambda: spmm(a, h, backend="reference"),
@@ -108,7 +149,12 @@ def run_suite(
         "transpose_warm": lambda: a.transpose(),
         "col_sum": lambda: a.col_sum(),
         "gat8_multihead_batched": mh_step,
+        "gat8_fused": mega_step,
     }
+    cases.update({
+        name: (lambda model=model: dag_step(model))
+        for name, model in dag_models.items()
+    })
     results: dict[str, float] = {}
     for name, fn in cases.items():
         fn()  # warm structure caches and workspaces
@@ -196,15 +242,20 @@ def main(argv: list[str] | None = None) -> int:
     flagged = {name for name, _, _ in regressions}
     for name, cur_s in sorted(current.items()):
         base_s = baseline.get(name)
-        note = ""
+        note = "  (no baseline)"
         if base_s is not None:
-            note = f"  baseline {base_s * 1e3:8.3f} ms"
+            delta = (cur_s - base_s) / base_s
+            note = f"  baseline {base_s * 1e3:8.3f} ms  {delta:+7.1%}"
             note += "  REGRESSION" if name in flagged else ""
         print(f"{name:<{width}}  {cur_s * 1e3:8.3f} ms{note}")
     if regressions:
+        offenders = ", ".join(
+            f"{name} ({(cur_s - base_s) / base_s:+.1%})"
+            for name, base_s, cur_s in sorted(regressions)
+        )
         print(
-            f"{len(regressions)} kernel(s) regressed more than "
-            f"{args.threshold:.0%} vs {args.baseline}"
+            f"{len(regressions)} case(s) regressed more than "
+            f"{args.threshold:.0%} vs {args.baseline}: {offenders}"
         )
         return 1
     print(f"no regressions beyond {args.threshold:.0%} vs {args.baseline}")

@@ -29,19 +29,47 @@ activations instead of recomputing them.
 
 from __future__ import annotations
 
+import os
 from typing import Any
 
 import numpy as np
 
 from repro.fusion.dag import OpDag
-from repro.fusion.fuse import FusedProgram, fuse
+from repro.fusion.fuse import FusedProgram, fuse, match_attention_chain
 from repro.fusion.sparsity import Sparsity
 from repro.tensor.csr import CSRMatrix
 from repro.tensor.kernels import spmm
+from repro.tensor.megakernel import attention_backward, attention_forward
 from repro.tensor.segment import bincount_sum, segment_sum
 from repro.tensor.workspace import workspace
+from repro.util.counters import (
+    FlopCounter,
+    event_counter,
+    null_counter,
+)
 
-__all__ = ["execute", "ProgramRunner"]
+__all__ = ["execute", "fusion_enabled_default", "ProgramRunner"]
+
+
+def fusion_enabled_default() -> bool:
+    """Resolve the megakernel default from ``$REPRO_FUSION``.
+
+    Read at *call* time (every :class:`ProgramRunner` construction with
+    ``fused=None``), not at import, so tests and callers can flip the
+    variable per run. Unset means off — the megakernel is opt-in.
+    """
+    raw = os.environ.get("REPRO_FUSION")
+    if raw is None:
+        return False
+    value = raw.strip().lower()
+    if value in ("1", "true", "on", "yes"):
+        return True
+    if value in ("0", "false", "off", "no", ""):
+        return False
+    raise ValueError(
+        f"invalid $REPRO_FUSION={raw!r}; "
+        "use one of 1/0, true/false, on/off, yes/no"
+    )
 
 
 def execute(
@@ -50,6 +78,8 @@ def execute(
     mode: str = "fused",
     tile_rows: int = 128,
     outputs: list[str] | tuple[str, ...] | None = None,
+    fused: bool | None = None,
+    counter: FlopCounter = null_counter(),
 ):
     """Run a psi DAG; returns the output node's value.
 
@@ -68,8 +98,15 @@ def execute(
         Names of registered outputs (``dag.mark_output``) to evaluate;
         returns a dict. With ``None`` the single ``dag.output`` value
         is returned directly.
+    fused:
+        Megakernel switch — see :class:`ProgramRunner`.
+    counter:
+        Flop counter threaded into the executor's kernels.
     """
-    runner = ProgramRunner(program, inputs, mode=mode, tile_rows=tile_rows)
+    runner = ProgramRunner(
+        program, inputs, mode=mode, tile_rows=tile_rows, fused=fused,
+        counter=counter,
+    )
     if outputs is None:
         return runner.run()
     return {name: runner.run(name) for name in outputs}
@@ -93,6 +130,8 @@ class ProgramRunner:
         inputs: dict[str, Any],
         mode: str = "fused",
         tile_rows: int = 128,
+        fused: bool | None = None,
+        counter: FlopCounter = null_counter(),
     ) -> None:
         if isinstance(program, OpDag):
             program = fuse(program)
@@ -102,9 +141,24 @@ class ProgramRunner:
         self.dag = program.dag
         self._inputs = dict(inputs)
         pattern = _find_pattern(self.dag, self._inputs)
+        if fused is None:
+            fused = fusion_enabled_default()
+        chain = None
+        if fused and mode == "fused":
+            # Megakernel lowering: only the production executor has
+            # single-sweep semantics; tiled/dense ablations stay as-is.
+            chain = match_attention_chain(program)
+            if chain is None:
+                event_counter().bump("megakernel.unmatched")
+        self.fused = chain is not None
         self._engine = _Engine(
-            program, self._inputs, pattern, mode, tile_rows
+            program, self._inputs, pattern, mode, tile_rows,
+            chain=chain, counter=counter,
         )
+
+    def set_counter(self, counter: FlopCounter) -> None:
+        """Redirect kernel flop accounting (e.g. per training phase)."""
+        self._engine.counter = counter
 
     @property
     def pattern(self) -> CSRMatrix | None:
@@ -172,15 +226,20 @@ class _Engine:
     """Evaluates node values with lazy virtual semantics."""
 
     def __init__(self, program: FusedProgram, inputs, pattern, mode,
-                 tile_rows) -> None:
+                 tile_rows, chain=None,
+                 counter: FlopCounter = null_counter()) -> None:
         self.dag = program.dag
         self.sparsity = program.sparsity
         self.inputs = inputs
         self.pattern = pattern
         self.mode = mode
         self.tile_rows = tile_rows
+        self.counter = counter
         self._dense: dict[int, np.ndarray] = {}
         self._edge: dict[int, np.ndarray] = {}
+        self._chain = chain  # matched AttentionChain, or None
+        self._mega_stats = None
+        self._mega_backward_done = False
 
     # ------------------------------------------------------------------
     def result(self, nid: int):
@@ -191,10 +250,62 @@ class _Engine:
         return self.value(nid)
 
     # ------------------------------------------------------------------
+    # Megakernel lowering of a matched attention chain
+    # ------------------------------------------------------------------
+    def _mega_operands(self, chain) -> dict:
+        """Evaluate the chain's dense score operands (all generic)."""
+        kwargs: dict = {"slope": chain.slope, "beta": chain.beta}
+        if chain.psi_kind == "add":
+            kwargs["u"] = self.value(chain.u)
+            kwargs["v"] = self.value(chain.v)
+        else:
+            kwargs["x_src"] = self.value(chain.x_src)
+            kwargs["x_dst"] = self.value(chain.x_dst)
+            if chain.norms is not None:
+                kwargs["norms"] = self.value(chain.norms)
+        return kwargs
+
+    def _run_megakernel(self, backward: bool) -> None:
+        """Populate every chain exit reachable from the request.
+
+        The forward sweep runs once (first exit requested, or first
+        backward exit — its softmax statistics feed the recomputation);
+        the backward sweeps run once and fill all gradient exits
+        together, so the generic interpreter only ever sees finished
+        DENSE values at the chain boundary.
+        """
+        chain = self._chain
+        adjacency = self.inputs[self.dag.nodes[chain.adjacency].name]
+        z_nid = next(
+            nid for nid, key in chain.exits.items() if key == "Z"
+        )
+        kwargs = self._mega_operands(chain)
+        if z_nid not in self._dense:
+            z, stats = attention_forward(
+                adjacency, chain.psi_kind, self.value(chain.y),
+                softmax=chain.softmax, counter=self.counter, **kwargs,
+            )
+            self._dense[z_nid] = z
+            self._mega_stats = stats
+        if backward and not self._mega_backward_done:
+            grads = attention_backward(
+                adjacency, chain.psi_kind, self.value(chain.y),
+                self.value(chain.seed), stats=self._mega_stats,
+                softmax=chain.softmax, counter=self.counter, **kwargs,
+            )
+            for nid, key in chain.exits.items():
+                if key != "Z":
+                    self._dense[nid] = grads[key]
+            self._mega_backward_done = True
+
+    # ------------------------------------------------------------------
     # Dense-value evaluation (eager)
     # ------------------------------------------------------------------
     def value(self, nid: int) -> np.ndarray:
         if nid in self._dense:
+            return self._dense[nid]
+        if self._chain is not None and nid in self._chain.exits:
+            self._run_megakernel(self._chain.exits[nid] != "Z")
             return self._dense[nid]
         node = self.dag.nodes[nid]
         sp = self.sparsity[nid]

@@ -76,6 +76,12 @@ class DagLayer(GnnLayer):
     mode:
         Executor mode forwarded to the runner (``"fused"`` for
         production; ``"tiled"``/``"dense"`` for ablations/tests).
+    fused:
+        Megakernel switch forwarded to the runner: ``True`` lowers the
+        recognised attention chain to the single-sweep executor
+        (:mod:`repro.tensor.megakernel`), ``False`` keeps the
+        kernel-at-a-time interpreter (the parity oracle), ``None``
+        (default) defers to ``$REPRO_FUSION``.
     beta, slope:
         AGNN temperature / GAT LeakyReLU slope baked into the DAG.
     """
@@ -87,6 +93,7 @@ class DagLayer(GnnLayer):
         out_dim: int,
         activation: str = "relu",
         mode: str = "fused",
+        fused: bool | None = None,
         beta: float = 1.0,
         slope: float = 0.2,
         seed: int | np.random.Generator | None = 0,
@@ -101,6 +108,7 @@ class DagLayer(GnnLayer):
         builder, extra = LAYER_DAG_BUILDERS[model]
         self.model = model
         self.mode = mode
+        self.fused = fused
         self.in_dim = in_dim
         self.out_dim = out_dim
         rng = make_rng(seed)
@@ -128,7 +136,8 @@ class DagLayer(GnnLayer):
         training: bool = True,
     ) -> tuple[np.ndarray, _DagCache | None]:
         runner = ProgramRunner(
-            self.program.dag, self._bindings(a, h), mode=self.mode
+            self.program.dag, self._bindings(a, h), mode=self.mode,
+            fused=self.fused, counter=counter,
         )
         z = runner.run()
         h_next = self.activation.fn(z)
@@ -144,6 +153,7 @@ class DagLayer(GnnLayer):
         counter: FlopCounter = null_counter(),
     ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
         runner = cache.runner
+        runner.set_counter(counter)
         runner.bind(self.program.seed, np.asarray(g))
         grads = {
             name: runner.run(f"grad:{name}")

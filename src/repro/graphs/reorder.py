@@ -25,6 +25,7 @@ __all__ = [
     "permute",
     "random_order",
     "degree_sort_order",
+    "scramble_if_skewed",
     "load_balance_report",
     "LoadBalanceReport",
 ]
@@ -73,6 +74,28 @@ def degree_sort_order(graph: COOMatrix | CSRMatrix,
     order = np.empty_like(ranks)
     order[ranks] = np.arange(len(ranks))
     return order
+
+
+def scramble_if_skewed(
+    a: CSRMatrix,
+    cv_threshold: float = 1.0,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray | None:
+    """A random order when the degree distribution warrants one.
+
+    Reads the pattern's cached
+    :meth:`~repro.tensor.structure.PatternStructure.degree_stats` and
+    returns a Graph500-style scramble permutation when the row-length
+    coefficient of variation exceeds ``cv_threshold`` — the regime
+    where hub clustering unbalances 2D blocks (and where the megakernel
+    planner likewise switches to edge-balanced sweeps). Near-regular
+    graphs return ``None``: scrambling them costs cache locality for no
+    balance gain.
+    """
+    stats = a.degree_stats()
+    if stats.cv <= cv_threshold:
+        return None
+    return random_order(a.shape[0], seed)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,866 @@
+"""Fused single-sweep attention megakernel with dynamic strategy selection.
+
+The kernel-at-a-time interpreter (:mod:`repro.fusion.interp`) executes
+the attention chain SDDMM → masked softmax → SpMM as separate Table-2
+kernels, materialising every ``(nnz,)``- or ``(nnz, heads)``-sized edge
+intermediate in between. This module fuses the whole chain into **one
+CSR row-block sweep** (the DF-GNN strategy): per block of rows it
+computes the raw scores, the numerically-stable masked softmax and the
+feature aggregation back to back, so edge values only ever live in
+cache-sized pooled workspaces — never as full edge arrays.
+
+The backward pass is the *same single sweep* with *recomputation*
+(the FlashAttention trade): only the O(n·heads) per-row softmax
+statistics (max-shift and shifted denominator) are saved by the
+forward; the backward re-derives the per-edge scores and ``dPsi``
+once inside each block. Row-side gradients reduce over the block rows
+(``reduceat``), and the column-side gradients (``Psi^T dZ``, column
+sums, column-endpoint feature gradients) need no transpose sweep at
+all — a CSR row block is exactly the CSC representation of its own
+transpose, so scipy's C CSC kernel scatters them straight into the
+full outputs (``bincount`` for the scalar column sums).
+
+Strategy selection is *dynamic* and per ``(pattern, heads, k)``: the
+planner reads the pattern's cached :class:`~repro.tensor.structure.
+DegreeStats` and picks uniform fixed-height row blocks for near-regular
+degree distributions or edge-budget-balanced blocks (a ``searchsorted``
+over ``indptr``) for skewed ones, plus a dense-k cache-blocking chunk;
+the resulting :class:`SweepPlan` is memoised on the
+:class:`~repro.tensor.structure.PatternStructure`, so warm-path
+planning cost is one dict lookup (events ``megaplan.computed`` /
+``megaplan.hit``).
+
+Three score kinds cover the paper's Psi formulations, single- or
+multi-head (stacked operands):
+
+* ``"dot"``    — :math:`s_{rc} = x^{src}_r \\cdot x^{dst}_c` (VA; no
+  softmax in the VA layer).
+* ``"add"``    — :math:`s_{rc} = \\mathrm{LeakyReLU}(u_r + v_c)` (GAT).
+* ``"cosine"`` — :math:`s_{rc} = \\beta\\,(x_r \\cdot x_c) /
+  (n_r n_c)` (AGNN), with the interpreter's safe-division semantics.
+
+Every kind multiplies the raw score by the adjacency's stored edge
+value (the Hadamard mask of the global formulation) before the softmax.
+Flops are charged once per call to the optional
+:class:`~repro.util.counters.FlopCounter`, with counts equal to the
+summed unfused kernels (``SDDMM`` + ``softmax`` + ``SpMM`` labels), so
+ablation accounting is unchanged by fusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor.csr import CSRMatrix
+from repro.tensor.structure import PatternStructure
+from repro.tensor.workspace import workspace
+from repro.util.counters import FlopCounter, event_counter, null_counter
+
+try:  # The per-block SpMM step rides scipy's C csr kernel when present.
+    from scipy.sparse import _sparsetools as _scipy_sparsetools
+except ImportError:  # pragma: no cover - scipy is a hard test dep
+    _scipy_sparsetools = None
+
+__all__ = [
+    "PSI_KINDS",
+    "SweepPlan",
+    "SweepStats",
+    "plan_sweep",
+    "attention_forward",
+    "attention_backward",
+]
+
+PSI_KINDS = ("dot", "add", "cosine")
+
+#: Scalar budget per gather buffer: block_edges · heads · k_chunk stays
+#: under this, keeping the live working set L2-resident (2 MiB at
+#: float64). With the per-block SpMM/scatter running in C the sweep's
+#: fixed per-block cost amortises over larger blocks, so the budget
+#: targets L2 rather than L1.
+_BLOCK_SCALAR_BUDGET = 1 << 18
+
+#: Blocks never shrink below this many edges on large patterns — the
+#: point where per-block Python overhead would dominate the C kernels.
+_MIN_BLOCK_EDGES = 2048
+
+#: Dense-k cache blocking: feature widths beyond this are processed in
+#: chunks so the gathered slabs stay resident (IO-aware layering).
+_MAX_K_CHUNK = 64
+
+#: Degree coefficient-of-variation above which fixed-height row blocks
+#: degrade into hub-dominated stragglers and edge balancing pays off.
+_CV_BALANCED_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """A memoised execution strategy for one ``(pattern, heads, k)``."""
+
+    strategy: str  #: ``"uniform"`` or ``"balanced"``
+    block_starts: np.ndarray  #: row boundaries, ``(n_blocks + 1,)``, frozen
+    k_chunk: int
+    heads: int
+    k: int
+    max_block_edges: int
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.block_starts.shape[0]) - 1
+
+
+@dataclass
+class SweepStats:
+    """Saved per-row softmax statistics (O(n·heads), never O(nnz)).
+
+    ``psi_e = exp(s_e - shift[r]) / denom[r]`` reconstructs the softmax
+    values inside the backward sweep; ``None`` fields mean the forward
+    ran without a softmax (VA).
+    """
+
+    shift: np.ndarray | None
+    denom: np.ndarray | None
+
+
+def plan_sweep(
+    structure: PatternStructure, heads: int, k: int
+) -> SweepPlan:
+    """Choose (and memoise) the sweep strategy for this pattern.
+
+    The plan is cached on the structure keyed by ``(heads, k)``; degree
+    statistics come from the pattern's cached
+    :meth:`~repro.tensor.structure.PatternStructure.degree_stats`.
+    """
+    heads = max(1, int(heads))
+    k = max(1, int(k))
+    cached = structure._sweep_plans.get((heads, k))
+    if cached is not None:
+        event_counter().bump("megaplan.hit")
+        return cached
+    stats = structure.degree_stats()
+    n = structure.shape[0]
+    nnz = structure.nnz
+    k_chunk = min(k, _MAX_K_CHUNK)
+    edge_budget = max(1, _BLOCK_SCALAR_BUDGET // (heads * k_chunk))
+    # Structural guarantee: large patterns sweep in at least ~4 blocks,
+    # so pooled edge workspaces stay strictly sub-nnz even when the
+    # cache budget alone would allow a whole-graph block. Small graphs
+    # (everything under _MIN_BLOCK_EDGES) keep their single block.
+    edge_budget = min(edge_budget, max(nnz // 4, _MIN_BLOCK_EDGES))
+    indptr = structure.indptr
+    if n == 0 or nnz == 0:
+        strategy = "uniform"
+        starts = np.array([0, n], dtype=np.int64) if n else np.array(
+            [0], dtype=np.int64
+        )
+    elif stats.cv > _CV_BALANCED_THRESHOLD:
+        # Skewed degrees: row boundaries chosen so every block carries
+        # roughly edge_budget entries, regardless of hub placement.
+        strategy = "balanced"
+        n_blocks = max(1, -(-nnz // edge_budget))
+        targets = (np.arange(1, n_blocks, dtype=np.int64) * nnz) // n_blocks
+        cuts = np.searchsorted(indptr, targets, side="left")
+        cuts = np.unique(cuts[(cuts > 0) & (cuts < n)])
+        starts = np.concatenate(
+            (
+                np.zeros(1, dtype=np.int64),
+                cuts.astype(np.int64),
+                np.full(1, n, dtype=np.int64),
+            )
+        )
+    else:
+        # Near-uniform degrees: fixed-height row blocks sized from the
+        # mean degree hit the edge budget without a boundary search.
+        strategy = "uniform"
+        rows_per_block = max(1, int(edge_budget / max(stats.mean, 1.0)))
+        starts = np.arange(0, n, rows_per_block, dtype=np.int64)
+        starts = np.concatenate((starts, np.full(1, n, dtype=np.int64)))
+    starts.flags.writeable = False
+    if starts.shape[0] > 1:
+        max_edges = int(np.max(np.diff(indptr[starts])))
+    else:
+        max_edges = 0
+    plan = SweepPlan(
+        strategy=strategy,
+        block_starts=starts,
+        k_chunk=k_chunk,
+        heads=heads,
+        k=k,
+        max_block_edges=max_edges,
+    )
+    structure._sweep_plans[(heads, k)] = plan
+    event_counter().bump("megaplan.computed")
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Shape normalisation: everything runs internally with an explicit
+# heads axis — features (n, H, k), vectors (n, H) — and is squeezed
+# back iff the caller passed single-head 2-D/1-D operands.
+# ----------------------------------------------------------------------
+def _norm_feat(name: str, arr, heads: int) -> np.ndarray:
+    arr = np.asarray(arr)
+    if arr.ndim == 2:
+        if heads != 1:
+            raise ValueError(
+                f"{name} must be (n, {heads}, k) for {heads}-head operands"
+            )
+        return arr[:, None, :]
+    if arr.ndim == 3 and arr.shape[1] == heads:
+        return arr
+    raise ValueError(f"{name} has shape {arr.shape}; expected 2-D or "
+                     f"(n, {heads}, k)")
+
+
+def _norm_vec(name: str, arr, heads: int) -> np.ndarray:
+    arr = np.asarray(arr)
+    if arr.ndim == 1:
+        if heads != 1:
+            raise ValueError(
+                f"{name} must be (n, {heads}) for {heads}-head operands"
+            )
+        return arr[:, None]
+    if arr.ndim == 2 and arr.shape[1] == heads:
+        return arr
+    raise ValueError(f"{name} has shape {arr.shape}; expected 1-D or "
+                     f"(n, {heads})")
+
+
+def _block_reduceat(ufunc, values, local_indptr, identity, out):
+    """``ufunc.reduceat`` per block-local segment, empty rows repaired."""
+    lengths = np.diff(local_indptr)
+    if np.all(lengths > 0):
+        ufunc.reduceat(values, local_indptr[:-1], axis=0, out=out)
+        return out
+    out[...] = identity
+    nonempty = lengths > 0
+    if np.any(nonempty):
+        out[nonempty] = ufunc.reduceat(
+            values, local_indptr[:-1][nonempty], axis=0
+        )
+    return out
+
+
+def _gather2(tag: str, arr: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """Pooled (E, H) gather of a (n, H) operand at global indices."""
+    buf = workspace(tag, (idx.shape[0], arr.shape[1]), arr.dtype)
+    np.take(arr, idx, axis=0, out=buf, mode="clip")
+    return buf
+
+
+def _pair_dot_into(
+    s: np.ndarray,
+    left: np.ndarray,
+    right: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    k_chunk: int,
+    dtype,
+) -> np.ndarray:
+    """``s[e] = left[rows[e]] . right[cols[e]]`` with dense-k blocking.
+
+    ``left``/``right`` are (n, H, k); ``s`` is a pre-sized (E, H)
+    buffer. The k loop keeps both gathered slabs cache-resident.
+    """
+    e = rows.shape[0]
+    heads = left.shape[1]
+    k = left.shape[2]
+    s.fill(0.0)
+    for k0 in range(0, k, k_chunk):
+        k1 = min(k0 + k_chunk, k)
+        gl = workspace("mega.sx", (e, heads, k1 - k0), dtype)
+        gr = workspace("mega.sy", (e, heads, k1 - k0), dtype)
+        np.take(left[:, :, k0:k1], rows, axis=0, out=gl, mode="clip")
+        np.take(right[:, :, k0:k1], cols, axis=0, out=gr, mode="clip")
+        if k0 == 0 and k1 == k:
+            np.einsum("ehk,ehk->eh", gl, gr, out=s)
+        else:
+            part = workspace("mega.partial", (e, heads), dtype)
+            np.einsum("ehk,ehk->eh", gl, gr, out=part)
+            s += part
+    return s
+
+
+def _safe_div_into(num: np.ndarray, den: np.ndarray) -> np.ndarray:
+    """In-place ``num = num / den`` with the interpreter's zero rule:
+    entries with a zero denominator become exactly zero."""
+    zero = den == 0
+    np.divide(num, np.where(zero, 1.0, den), out=num)
+    num[zero] = 0.0
+    return num
+
+
+def _head_slices(src: np.ndarray) -> list[np.ndarray] | None:
+    """Per-head contiguous ``(n, k)`` views/copies of a ``(n, H, k)``
+    operand, for the C SpMM path — or ``None`` when it doesn't apply.
+
+    Single-head slices alias the input; multi-head slices are copied
+    once per *call* (never per block), which the per-block C sweeps
+    amortise immediately.
+    """
+    if _scipy_sparsetools is None:
+        return None
+    out = []
+    for h in range(src.shape[1]):
+        s = src[:, h, :]
+        out.append(s if s.flags.c_contiguous else np.ascontiguousarray(s))
+    return out
+
+
+def _aggregate_block(
+    out_block: np.ndarray,
+    weights: np.ndarray,
+    src: np.ndarray,
+    idx: np.ndarray,
+    local_indptr: np.ndarray,
+    k_chunk: int,
+    dtype,
+    src_heads: list[np.ndarray] | None = None,
+) -> None:
+    """``out_block[r] = sum_e weights[e] * src[idx[e]]`` per segment.
+
+    The fused SpMM step. With scipy present (``src_heads`` prepared by
+    :func:`_head_slices`) each head runs scipy's C ``csr_matvecs`` over
+    the block's index slices — no gathered edge-feature slab at all.
+    The fallback gathers ``src`` rows in dense-k chunks, scales by the
+    per-edge weights and ``reduceat``-s over the block rows.
+    """
+    e = idx.shape[0]
+    heads = src.shape[1]
+    kp = src.shape[2]
+    if (
+        src_heads is not None
+        and idx.dtype == local_indptr.dtype
+        and out_block.dtype == dtype
+        and weights.dtype == dtype
+        and src_heads[0].dtype == dtype
+    ):
+        rows = out_block.shape[0]
+        n_src = src.shape[0]
+        for h in range(heads):
+            w = weights[:, h]
+            if not w.flags.c_contiguous:
+                wh = workspace("mega.wh", (e,), dtype)
+                wh[...] = w
+                w = wh
+            out_h = out_block[:, h, :]
+            if out_h.flags.c_contiguous:
+                _scipy_sparsetools.csr_matvecs(
+                    rows, n_src, kp, local_indptr, idx, w,
+                    src_heads[h].reshape(-1), out_h.reshape(-1),
+                )
+            else:
+                zh = workspace("mega.zh", (rows, kp), dtype)
+                zh.fill(0.0)
+                _scipy_sparsetools.csr_matvecs(
+                    rows, n_src, kp, local_indptr, idx, w,
+                    src_heads[h].reshape(-1), zh.reshape(-1),
+                )
+                out_h += zh
+        return
+    for k0 in range(0, kp, k_chunk):
+        k1 = min(k0 + k_chunk, kp)
+        g = workspace("mega.agg", (e, heads, k1 - k0), dtype)
+        np.take(src[:, :, k0:k1], idx, axis=0, out=g, mode="clip")
+        g *= weights[:, :, None]
+        _block_reduceat(np.add, g, local_indptr, 0.0, out_block[:, :, k0:k1])
+
+
+# ----------------------------------------------------------------------
+# Per-edge masked scores for one block (shared by forward and backward)
+# ----------------------------------------------------------------------
+def _masked_scores_block(
+    s: np.ndarray,
+    psi: str,
+    a_vals: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    ops: dict,
+    k_chunk: int,
+    dtype,
+    aux: np.ndarray | None = None,
+    aux2: np.ndarray | None = None,
+) -> np.ndarray:
+    """Fill ``s`` with the masked per-edge scores of one block.
+
+    For the backward recomputation the caller passes scratch buffers:
+    ``aux`` receives the pre-activation ``c`` for ``"add"`` (LeakyReLU
+    mask) or the norm-product denominator for ``"cosine"``; ``aux2``
+    receives the cosine values (pre-``beta``, pre-mask).
+    """
+    if psi == "add":
+        gu = _gather2("mega.su", ops["u"], rows)
+        gv = _gather2("mega.sv", ops["v"], cols)
+        np.add(gu, gv, out=s)
+        if aux is not None:
+            aux[...] = s
+        np.multiply(s, ops["slope"], out=s, where=s < 0)
+        s *= a_vals[:, None]
+        return s
+    _pair_dot_into(s, ops["x_src"], ops["x_dst"], rows, cols, k_chunk, dtype)
+    if psi == "cosine":
+        norms = ops["norms"]
+        den = (
+            aux
+            if aux is not None
+            else workspace("mega.den", s.shape, dtype)
+        )
+        np.take(norms, rows, axis=0, out=den, mode="clip")
+        nc = _gather2("mega.nc", norms, cols)
+        np.multiply(den, nc, out=den)
+        _safe_div_into(s, den)
+        if aux2 is not None:
+            aux2[...] = s
+        s *= ops["beta"]
+    s *= a_vals[:, None]
+    return s
+
+
+def _psi_from_stats(
+    s: np.ndarray,
+    shift: np.ndarray,
+    denom: np.ndarray,
+    row_idx: np.ndarray,
+) -> np.ndarray:
+    """In-place softmax reconstruction from saved per-row statistics."""
+    rep = workspace("mega.rep", s.shape, s.dtype)
+    np.take(shift, row_idx, axis=0, out=rep, mode="clip")
+    np.subtract(s, rep, out=s)
+    np.exp(s, out=s)
+    np.take(denom, row_idx, axis=0, out=rep, mode="clip")
+    np.divide(s, np.where(rep == 0, 1.0, rep), out=s)
+    return s
+
+
+def _sddmm_flops(psi: str, nnz: int, heads: int, k: int) -> int:
+    """Score flops, equal to the matching unfused ``sddmm_*`` count."""
+    if psi == "add":
+        return nnz * heads
+    if psi == "dot":
+        return 2 * nnz * heads * k
+    return 2 * nnz * heads * k + 2 * nnz * heads  # cosine: dot + divide
+
+
+# ----------------------------------------------------------------------
+# Forward: one row-block sweep
+# ----------------------------------------------------------------------
+def attention_forward(
+    a: CSRMatrix,
+    psi: str,
+    y: np.ndarray,
+    *,
+    x_src: np.ndarray | None = None,
+    x_dst: np.ndarray | None = None,
+    u: np.ndarray | None = None,
+    v: np.ndarray | None = None,
+    norms: np.ndarray | None = None,
+    slope: float = 0.2,
+    beta: float = 1.0,
+    softmax: bool | None = None,
+    plan: SweepPlan | None = None,
+    counter: FlopCounter = null_counter(),
+) -> tuple[np.ndarray, SweepStats | None]:
+    """Fused SDDMM → masked softmax → SpMM in one row-block sweep.
+
+    Parameters mirror the recognised IR chain: ``a`` is the adjacency
+    (its stored values are the Hadamard mask), ``y`` the aggregation
+    operand (``H W``), and the score operands depend on ``psi`` — see
+    the module docstring. ``softmax=None`` defaults to the layer
+    formulations (softmax for ``add``/``cosine``, none for ``dot``).
+
+    Returns ``(z, stats)`` where ``z = Psi @ y`` and ``stats`` holds the
+    per-row softmax statistics the backward sweep needs (``None``
+    without a softmax). No ``(nnz,)``-sized intermediate is written:
+    scores and softmax values live in block-bounded pooled workspaces.
+    """
+    if psi not in PSI_KINDS:
+        raise ValueError(f"unknown psi kind {psi!r}; expected {PSI_KINDS}")
+    if a.data.ndim != 1:
+        raise ValueError("megakernel adjacency values must be scalar (1-D)")
+    if softmax is None:
+        softmax = psi != "dot"
+    y_arr = np.asarray(y)
+    flat = y_arr.ndim == 2
+    heads = 1 if flat else y_arr.shape[1]
+    y3 = _norm_feat("y", y_arr, heads)
+    ops = _normalise_ops(
+        psi, heads, x_src=x_src, x_dst=x_dst, u=u, v=v, norms=norms,
+        slope=slope, beta=beta,
+    )
+    k_score = ops["x_src"].shape[2] if psi in ("dot", "cosine") else 1
+    n = a.shape[0]
+    kp = y3.shape[2]
+    dtype = np.result_type(a.data, y3, *(
+        ops[key] for key in ("x_src", "u", "norms") if ops.get(key) is not None
+    ))
+    if plan is None:
+        plan = plan_sweep(a.structure, heads, max(k_score, kp))
+    nnz = a.nnz
+    counter.add(_sddmm_flops(psi, nnz, heads, k_score), "SDDMM")
+    if softmax:
+        counter.add(5 * nnz * heads, "softmax")
+    counter.add(2 * nnz * heads * kp, "SpMM")
+
+    z = np.zeros((n, heads, kp), dtype=dtype)
+    stats = None
+    if softmax:
+        stats = SweepStats(
+            shift=np.zeros((n, heads), dtype=dtype),
+            denom=np.zeros((n, heads), dtype=dtype),
+        )
+    indptr = a.indptr
+    rows_all = a.expand_rows()
+    starts = plan.block_starts
+    y_heads = _head_slices(y3)
+    event_counter().bump("megakernel.forward")
+    event_counter().bump("megakernel.block", plan.n_blocks)
+    for b in range(plan.n_blocks):
+        r0, r1 = int(starts[b]), int(starts[b + 1])
+        e0, e1 = int(indptr[r0]), int(indptr[r1])
+        if e0 == e1:
+            continue
+        rows_b = rows_all[e0:e1]
+        cols_b = a.indices[e0:e1]
+        lp = indptr[r0 : r1 + 1] - e0
+        s = workspace("mega.scores", (e1 - e0, heads), dtype)
+        _masked_scores_block(
+            s, psi, a.data[e0:e1], rows_b, cols_b, ops, plan.k_chunk, dtype
+        )
+        if softmax:
+            local = workspace("mega.lrows", rows_b.shape, np.int64)
+            np.subtract(rows_b, r0, out=local)
+            shift_b = stats.shift[r0:r1]
+            _block_reduceat(np.maximum, s, lp, 0.0, shift_b)
+            rep = workspace("mega.rep", s.shape, dtype)
+            np.take(shift_b, local, axis=0, out=rep, mode="clip")
+            np.subtract(s, rep, out=s)
+            np.exp(s, out=s)
+            denom_b = stats.denom[r0:r1]
+            _block_reduceat(np.add, s, lp, 0.0, denom_b)
+            np.take(denom_b, local, axis=0, out=rep, mode="clip")
+            np.divide(s, np.where(rep == 0, 1.0, rep), out=s)
+        _aggregate_block(
+            z[r0:r1], s, y3, cols_b, lp, plan.k_chunk, dtype,
+            src_heads=y_heads,
+        )
+    return (z[:, 0, :] if flat else z), stats
+
+
+def _normalise_ops(psi, heads, *, x_src, x_dst, u, v, norms, slope, beta):
+    ops: dict = {"slope": float(slope), "beta": float(beta),
+                 "x_src": None, "u": None, "norms": None}
+    if psi == "add":
+        if u is None or v is None:
+            raise ValueError("psi 'add' needs u and v operands")
+        ops["u"] = _norm_vec("u", u, heads)
+        ops["v"] = _norm_vec("v", v, heads)
+    else:
+        if x_src is None:
+            raise ValueError(f"psi {psi!r} needs x_src")
+        ops["x_src"] = _norm_feat("x_src", x_src, heads)
+        ops["x_dst"] = _norm_feat(
+            "x_dst", x_dst if x_dst is not None else x_src, heads
+        )
+        if psi == "cosine":
+            if norms is None:
+                raise ValueError("psi 'cosine' needs precomputed norms")
+            ops["norms"] = _norm_vec("norms", norms, heads)
+    return ops
+
+
+# ----------------------------------------------------------------------
+# Backward: one row-block sweep (column-side gradients via C scatter)
+# ----------------------------------------------------------------------
+def attention_backward(
+    a: CSRMatrix,
+    psi: str,
+    y: np.ndarray,
+    dz: np.ndarray,
+    *,
+    stats: SweepStats | None = None,
+    x_src: np.ndarray | None = None,
+    x_dst: np.ndarray | None = None,
+    u: np.ndarray | None = None,
+    v: np.ndarray | None = None,
+    norms: np.ndarray | None = None,
+    slope: float = 0.2,
+    beta: float = 1.0,
+    softmax: bool | None = None,
+    plan: SweepPlan | None = None,
+    counter: FlopCounter = null_counter(),
+) -> dict[str, np.ndarray]:
+    """Fused backward of :func:`attention_forward`, same sweep shape.
+
+    Per-edge quantities (scores, softmax values, ``dPsi``) are
+    *recomputed* once per block from the operands plus the saved
+    ``stats``; nothing edge-sized is read from memory or written back.
+    One sweep over the pattern produces everything: row-side gradients
+    reduce over the block rows, column-side ones scatter through the
+    block's own CSR arrays reinterpreted as its transpose's CSC form
+    (see :func:`_scatter_add_block`).
+
+    Returns a dict whose keys depend on ``psi``:
+
+    * always: ``"dY"`` (:math:`\\Psi^T dZ`, the aggregation-operand
+      gradient);
+    * ``"dot"``/``"cosine"``: ``"dRow"``/``"dCol"`` — the gradients
+      w.r.t. ``x_src``/``x_dst`` through the sampled Gram product;
+    * ``"cosine"``: plus ``"dNormRow"``/``"dNormCol"`` — the gradients
+      w.r.t. the row-norm vector's two endpoints;
+    * ``"add"``: ``"dU"``/``"dV"`` — the logit-vector gradients.
+    """
+    if psi not in PSI_KINDS:
+        raise ValueError(f"unknown psi kind {psi!r}; expected {PSI_KINDS}")
+    if softmax is None:
+        softmax = psi != "dot"
+    if softmax and (stats is None or stats.shift is None):
+        raise ValueError("softmax backward needs the forward SweepStats")
+    y_arr = np.asarray(y)
+    dz_arr = np.asarray(dz)
+    flat = y_arr.ndim == 2
+    heads = 1 if flat else y_arr.shape[1]
+    y3 = _norm_feat("y", y_arr, heads)
+    dz3 = _norm_feat("dz", dz_arr, heads)
+    ops = _normalise_ops(
+        psi, heads, x_src=x_src, x_dst=x_dst, u=u, v=v, norms=norms,
+        slope=slope, beta=beta,
+    )
+    k_score = ops["x_src"].shape[2] if psi in ("dot", "cosine") else 1
+    n, m = a.shape
+    kp = y3.shape[2]
+    nnz = a.nnz
+    dtype = np.result_type(a.data, y3, dz3)
+    counter.add(2 * nnz * heads * kp, "SDDMM")  # dPsi sampled product
+    if softmax:
+        counter.add(4 * nnz * heads, "softmax_bwd")
+    counter.add(2 * nnz * heads * kp, "SpMM")  # dY
+    if psi in ("dot", "cosine"):
+        counter.add(2 * (2 * nnz * heads * k_score), "SpMM")  # dRow, dCol
+    if psi == "cosine":
+        counter.add(2 * (2 * nnz * heads), "SpMM")  # norm-endpoint SpMVs
+
+    if plan is None:
+        plan = plan_sweep(a.structure, heads, max(k_score, kp))
+    out: dict[str, np.ndarray] = {}
+    if psi == "add":
+        out["dU"] = np.zeros((n, heads), dtype=dtype)
+        out["dV"] = np.zeros((m, heads), dtype=dtype)
+    else:
+        out["dRow"] = np.zeros((n, heads, k_score), dtype=dtype)
+    if psi == "cosine":
+        out["dNormRow"] = np.zeros((n, heads), dtype=dtype)
+        out["dNormCol"] = np.zeros((m, heads), dtype=dtype)
+    # Column-side accumulators live head-major so each head's (m, k)
+    # plane is contiguous for the C scatter kernel; moved back to
+    # (m, heads, k) once at the end.
+    dy_hm = np.zeros((heads, m, kp), dtype=dtype)
+    dcol_hm = (
+        np.zeros((heads, m, k_score), dtype=dtype)
+        if psi in ("dot", "cosine")
+        else None
+    )
+
+    # Contiguous per-head operand slices for the C SpMM path, prepared
+    # once per call (see _head_slices).
+    dz_heads = _head_slices(dz3)
+    xsrc_heads = xdst_heads = None
+    if psi in ("dot", "cosine"):
+        xsrc_heads = _head_slices(ops["x_src"])
+        xdst_heads = _head_slices(ops["x_dst"])
+
+    event_counter().bump("megakernel.backward")
+
+    # ---- one sweep over the pattern -----------------------------------
+    # Row-side gradients reduce over block rows as in the forward; the
+    # column-side ones need no transpose sweep at all: a CSR row block
+    # *is* its own transpose's CSC representation, so a C CSC kernel
+    # scatters ``Psi^T dZ`` / column feature gradients straight into the
+    # full output (``_scatter_add_block``), and the scalar column sums
+    # go through ``bincount``.
+    indptr = a.indptr
+    rows_all = a.expand_rows()
+    starts = plan.block_starts
+    for b in range(plan.n_blocks):
+        r0, r1 = int(starts[b]), int(starts[b + 1])
+        e0, e1 = int(indptr[r0]), int(indptr[r1])
+        if e0 == e1:
+            continue
+        rows_b = rows_all[e0:e1]
+        cols_b = a.indices[e0:e1]
+        lp = indptr[r0 : r1 + 1] - e0
+        ds, dden, psi_vals = _edge_grad_block(
+            psi, a.data[e0:e1], rows_b, cols_b, ops, plan.k_chunk, dtype,
+            y3, dz3, stats, softmax, r0=r0, local_indptr=lp,
+        )
+        _scatter_add_block(
+            dy_hm, psi_vals, rows_b, cols_b, lp, dz3, dz_heads, r0, r1,
+            plan.k_chunk, dtype,
+        )
+        if psi == "add":
+            for h in range(heads):
+                out["dV"][:, h] += np.bincount(
+                    cols_b, weights=ds[:, h], minlength=m
+                )
+            _block_reduceat(np.add, ds, lp, 0.0, out["dU"][r0:r1])
+            continue
+        _scatter_add_block(
+            dcol_hm, ds, rows_b, cols_b, lp, ops["x_src"], xsrc_heads,
+            r0, r1, plan.k_chunk, dtype,
+        )
+        if psi == "cosine":
+            # dNormCol first: the row-side reduction consumes dden.
+            gr = _gather2("mega.nr", ops["norms"], rows_b)
+            np.multiply(gr, dden, out=gr)
+            for h in range(heads):
+                out["dNormCol"][:, h] += np.bincount(
+                    cols_b, weights=gr[:, h], minlength=m
+                )
+        _aggregate_block(
+            out["dRow"][r0:r1], ds, ops["x_dst"], cols_b, lp,
+            plan.k_chunk, dtype, src_heads=xdst_heads,
+        )
+        if psi == "cosine":
+            gn = _gather2("mega.nc", ops["norms"], cols_b)
+            np.multiply(dden, gn, out=dden)
+            _block_reduceat(np.add, dden, lp, 0.0, out["dNormRow"][r0:r1])
+
+    if flat:
+        out = {
+            key: (val[:, 0, :] if val.ndim == 3 else val[:, 0])
+            for key, val in out.items()
+        }
+        out["dY"] = dy_hm[0]
+        if dcol_hm is not None:
+            out["dCol"] = dcol_hm[0]
+    else:
+        out["dY"] = np.ascontiguousarray(np.moveaxis(dy_hm, 0, 1))
+        if dcol_hm is not None:
+            out["dCol"] = np.ascontiguousarray(np.moveaxis(dcol_hm, 0, 1))
+    return out
+
+
+def _scatter_add_block(
+    out_hm: np.ndarray,
+    weights: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    local_indptr: np.ndarray,
+    src3: np.ndarray,
+    src_heads: list[np.ndarray] | None,
+    r0: int,
+    r1: int,
+    k_chunk: int,
+    dtype,
+) -> None:
+    """``out_hm[h, c] += sum_e weights[e, h] * src[row(e), h]`` — one
+    row block's *column-side* aggregation, without a transpose sweep.
+
+    The block's CSR arrays ``(local_indptr, cols, weights)`` are exactly
+    the CSC representation of the block's transpose, so with scipy
+    present each head is one C ``csc_matvecs`` scatter straight into the
+    full head-major output plane. The fallback gathers the source rows
+    in dense-k chunks and ``bincount``-s each feature column.
+    """
+    e = cols.shape[0]
+    heads, m, kp = out_hm.shape
+    if (
+        src_heads is not None
+        and cols.dtype == local_indptr.dtype
+        and out_hm.dtype == dtype
+        and weights.dtype == dtype
+        and src_heads[0].dtype == dtype
+    ):
+        for h in range(heads):
+            w = weights[:, h]
+            if not w.flags.c_contiguous:
+                wh = workspace("mega.wh", (e,), dtype)
+                wh[...] = w
+                w = wh
+            _scipy_sparsetools.csc_matvecs(
+                m, r1 - r0, kp, local_indptr, cols, w,
+                src_heads[h][r0:r1].reshape(-1), out_hm[h].reshape(-1),
+            )
+        return
+    for h in range(heads):
+        for k0 in range(0, kp, k_chunk):
+            k1 = min(k0 + k_chunk, kp)
+            g = workspace("mega.agg", (e, k1 - k0), dtype)
+            np.take(src3[:, h, k0:k1], rows, axis=0, out=g, mode="clip")
+            g *= weights[:, h : h + 1]
+            for kk in range(k0, k1):
+                out_hm[h, :, kk] += np.bincount(
+                    cols, weights=g[:, kk - k0], minlength=m
+                )
+
+
+def _edge_grad_block(
+    psi: str,
+    a_vals: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    ops: dict,
+    k_chunk: int,
+    dtype,
+    y3: np.ndarray,
+    dz3: np.ndarray,
+    stats: SweepStats | None,
+    softmax: bool,
+    r0: int,
+    local_indptr: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray | None, np.ndarray]:
+    """Recompute one block's per-edge score gradient ``dS``.
+
+    Returns ``(dS, dDenom, psi_vals)``: ``dS`` is the gradient w.r.t.
+    the raw score operand (Gram value for ``dot``/``cosine``,
+    pre-activation logit for ``add``), ``dDenom`` the cosine
+    norm-product gradient (else ``None``), and ``psi_vals`` the
+    reconstructed per-edge softmax values (masked scores without a
+    softmax) — the weights of the caller's ``dY`` scatter. ``psi_vals``
+    aliases the block score workspace: consume it before the next block.
+    """
+    e = rows.shape[0]
+    heads = y3.shape[1]
+    s = workspace("mega.scores", (e, heads), dtype)
+    aux = workspace("mega.aux", (e, heads), dtype)
+    aux2 = (
+        workspace("mega.aux2", (e, heads), dtype)
+        if psi == "cosine"
+        else None
+    )
+    _masked_scores_block(
+        s, psi, a_vals, rows, cols, ops, k_chunk, dtype, aux=aux, aux2=aux2
+    )
+    if softmax:
+        _psi_from_stats(s, stats.shift, stats.denom, rows)
+    # dPsi_e = <dZ[r], Y[c]> — the sampled dense-dense product.
+    d = workspace("mega.dpsi", (e, heads), dtype)
+    _pair_dot_into(d, dz3, y3, rows, cols, k_chunk, dtype)
+    if softmax:
+        # Softmax VJP: dMasked = psi * (dPsi - inner_row).
+        local = workspace("mega.lrows", rows.shape, np.int64)
+        np.subtract(rows, r0, out=local)
+        t = workspace("mega.inner", (e, heads), dtype)
+        np.multiply(s, d, out=t)
+        nrows = local_indptr.shape[0] - 1
+        inner_rows = workspace("mega.innerrow", (nrows, heads), dtype)
+        _block_reduceat(np.add, t, local_indptr, 0.0, inner_rows)
+        rep = workspace("mega.rep", (e, heads), dtype)
+        np.take(inner_rows, local, axis=0, out=rep, mode="clip")
+        np.subtract(d, rep, out=d)
+        np.multiply(d, s, out=d)
+    dden = None
+    if psi == "add":
+        # dC = dMasked ⊙ A ⊙ LeakyReLU'(c); aux holds the pre-activation.
+        d *= a_vals[:, None]
+        np.multiply(d, ops["slope"], out=d, where=aux < 0)
+    elif psi == "dot":
+        d *= a_vals[:, None]
+    else:  # cosine: aux = norm product, aux2 = cosine values
+        d *= a_vals[:, None]
+        d *= ops["beta"]
+        _safe_div_into(d, aux)  # dGram
+        dden = workspace("mega.dden", (e, heads), dtype)
+        np.multiply(d, aux2, out=dden)
+        np.negative(dden, out=dden)
+    return d, dden, s

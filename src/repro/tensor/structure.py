@@ -34,12 +34,42 @@ from __future__ import annotations
 
 import copy
 import weakref
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.util.counters import event_counter
 
-__all__ = ["PatternStructure", "intern_structure", "lookup_structure"]
+__all__ = [
+    "DegreeStats",
+    "PatternStructure",
+    "intern_structure",
+    "lookup_structure",
+]
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Summary statistics of a pattern's row lengths (out-degrees).
+
+    The planner input of the fused megakernel
+    (:mod:`repro.tensor.megakernel`): the coefficient of variation
+    separates near-uniform patterns (fixed row blocks suffice) from
+    skewed/power-law ones (edge-balanced blocks needed), and the
+    histogram makes the shape of the tail inspectable — useful on its
+    own for the reordering diagnostics in :mod:`repro.graphs.reorder`.
+    """
+
+    n_rows: int
+    nnz: int
+    max: int
+    mean: float
+    std: float
+    cv: float  #: std / mean; 0.0 for empty patterns
+    empty_rows: int
+    #: ``histogram[0]`` counts empty rows; ``histogram[b]`` (b >= 1)
+    #: counts rows with length in ``[2**(b-1), 2**b)``.
+    histogram: tuple[int, ...]
 
 
 def _freeze(arr: np.ndarray) -> np.ndarray:
@@ -65,6 +95,8 @@ class PatternStructure:
         "_transpose",
         "_scipy_proto",
         "_head_cache",
+        "_degree_stats",
+        "_sweep_plans",
         "__weakref__",
     )
 
@@ -80,6 +112,8 @@ class PatternStructure:
         self._transpose: "PatternStructure | None" = None
         self._scipy_proto = None
         self._head_cache: dict[int, list] = {}
+        self._degree_stats: DegreeStats | None = None
+        self._sweep_plans: dict = {}
 
     @property
     def nnz(self) -> int:
@@ -116,6 +150,49 @@ class PatternStructure:
             event_counter().bump("expand_rows.computed")
         else:
             event_counter().bump("expand_rows.hit")
+        return out
+
+    def degree_stats(self) -> DegreeStats:
+        """Row-length summary statistics (cached per pattern).
+
+        Derived once from :meth:`row_lengths`; the megakernel planner
+        reads these on every plan computation, so the warm path is a
+        single attribute load. Events: ``degree_stats.computed`` /
+        ``degree_stats.hit``.
+        """
+        out = self._degree_stats
+        if out is None:
+            lengths = self.row_lengths()
+            n = int(lengths.shape[0])
+            nnz = self.nnz
+            if n == 0:
+                hist: tuple[int, ...] = ()
+                mx, mean, std = 0, 0.0, 0.0
+                empty = 0
+            else:
+                # Bucket b >= 1 holds lengths in [2**(b-1), 2**b);
+                # frexp's exponent is exactly bit_length for ints > 0
+                # and 0 for length-0 rows.
+                buckets = np.frexp(lengths.astype(np.float64))[1]
+                hist = tuple(int(c) for c in np.bincount(buckets))
+                mx = int(lengths.max())
+                mean = float(lengths.mean())
+                std = float(lengths.std())
+                empty = int(np.count_nonzero(lengths == 0))
+            out = DegreeStats(
+                n_rows=n,
+                nnz=nnz,
+                max=mx,
+                mean=mean,
+                std=std,
+                cv=(std / mean) if mean > 0 else 0.0,
+                empty_rows=empty,
+                histogram=hist,
+            )
+            self._degree_stats = out
+            event_counter().bump("degree_stats.computed")
+        else:
+            event_counter().bump("degree_stats.hit")
         return out
 
     def transpose_permutation(self) -> np.ndarray:

@@ -1,0 +1,437 @@
+"""Fused-vs-interpreter parity suite for the attention megakernel.
+
+Three layers of assurance:
+
+* **Kernel parity** — :func:`repro.tensor.megakernel.attention_forward`
+  / ``attention_backward`` against a composition of the *unfused*
+  Table-2 kernels (``sddmm_*`` → ``masked_row_softmax`` → ``spmm`` and
+  their backward counterparts), across all three Psi kinds × {1, 8}
+  heads × {empty-row, single-row, power-law} patterns at rtol 1e-10 —
+  forward and every gradient output.
+* **Program parity** — :class:`repro.fusion.layer.DagLayer` with
+  ``fused=True`` against the untouched kernel-at-a-time interpreter
+  (``fused=False``), plus a numeric gradcheck through the fused path.
+* **Resource guarantees** — no ``(nnz,)``-sized score/softmax
+  intermediate is materialised on the fused path (the engine's edge
+  memo stays empty and every ``mega.*`` pooled buffer stays within the
+  cache-sized block budget), plans are memoised per ``(pattern, heads,
+  k)``, flop accounting equals the summed unfused counts, and the
+  ``$REPRO_FUSION`` override engages/validates correctly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fusion.interp import ProgramRunner, fusion_enabled_default
+from repro.fusion.layer import DagLayer
+from repro.graphs import erdos_renyi
+from repro.graphs.powerlaw import powerlaw_graph
+from repro.graphs.prep import prepare_adjacency
+from repro.models.base import GnnModel
+from repro.training.loss import MSELoss
+from repro.tensor.csr import CSRMatrix
+from repro.tensor.kernels import (
+    masked_row_softmax,
+    masked_row_softmax_backward,
+    sddmm_add,
+    sddmm_cosine,
+    sddmm_dot,
+    spmm,
+)
+from repro.tensor.megakernel import (
+    _BLOCK_SCALAR_BUDGET,
+    attention_backward,
+    attention_forward,
+    plan_sweep,
+)
+from repro.tensor.segment import bincount_sum, segment_sum
+from repro.tensor.workspace import _POOL, clear_workspaces
+from repro.util.counters import FlopCounter, event_counter
+
+from tests.conftest import random_csr
+
+RTOL = 1e-10
+ATOL = 1e-13
+PSIS = ("dot", "add", "cosine")
+
+
+# ----------------------------------------------------------------------
+# Pattern zoo: the reduceat/balance edge cases the issue names
+# ----------------------------------------------------------------------
+def _single_row_csr(rng: np.random.Generator, n: int) -> CSRMatrix:
+    """Only one row holds entries — extreme skew plus empty segments."""
+    dense = np.zeros((n, n))
+    cols = rng.choice(n, size=max(2, n // 3), replace=False)
+    dense[n // 2, cols] = rng.normal(size=cols.size)
+    return CSRMatrix.from_dense(dense)
+
+
+def _patterns(rng: np.random.Generator) -> list[tuple[str, CSRMatrix]]:
+    return [
+        (
+            "empty-row",
+            random_csr(rng, 48, 48, density=0.15, ensure_empty_row=True),
+        ),
+        ("single-row", _single_row_csr(rng, 32)),
+        (
+            "power-law",
+            prepare_adjacency(
+                powerlaw_graph(96, 700, seed=5), dtype=np.float64
+            ),
+        ),
+    ]
+
+
+def _operands(rng, n, heads, k, kp, psi):
+    shape3 = (n, k) if heads == 1 else (n, heads, k)
+    shape3p = (n, kp) if heads == 1 else (n, heads, kp)
+    shape1 = (n,) if heads == 1 else (n, heads)
+    ops = {"y": rng.normal(size=shape3p), "dz": rng.normal(size=shape3p)}
+    if psi == "add":
+        ops["u"] = rng.normal(size=shape1)
+        ops["v"] = rng.normal(size=shape1)
+    else:
+        x = rng.normal(size=shape3)
+        ops["x"] = x
+        ops["norms"] = np.sqrt(np.einsum("...j,...j->...", x, x))
+    return ops
+
+
+# ----------------------------------------------------------------------
+# The kernel-at-a-time oracle: unfused Table-2 kernels, head-batched
+# ----------------------------------------------------------------------
+def unfused_reference(a, psi, ops, slope, beta, counter=None):
+    """SDDMM → softmax → SpMM plus backward, one kernel per step."""
+    counter = counter if counter is not None else FlopCounter()
+    heads = 1 if ops["y"].ndim == 2 else ops["y"].shape[1]
+    adata = a.data if heads == 1 else a.data[:, None]
+    softmax = psi != "dot"
+    if psi == "dot":
+        raw = sddmm_dot(a, ops["x"], ops["x"], counter=counter)
+    elif psi == "add":
+        raw = sddmm_add(a, ops["u"], ops["v"], counter=counter)
+        raw = np.where(raw > 0, raw, slope * raw)
+    else:
+        raw, _ = sddmm_cosine(
+            a, ops["x"], norms=ops["norms"], counter=counter
+        )
+        raw = beta * raw
+    masked = adata * raw
+    if softmax:
+        psi_vals = masked_row_softmax(
+            a.with_data(masked), counter=counter
+        ).data
+    else:
+        psi_vals = masked
+    out = {"Z": spmm(a.with_data(psi_vals), ops["y"], counter=counter)}
+
+    dpsi = sddmm_dot(a, ops["dz"], ops["y"], counter=counter)
+    out["dY"] = spmm(
+        a.with_data(psi_vals).transpose(), ops["dz"], counter=counter
+    )
+    if softmax:
+        dmasked = masked_row_softmax_backward(
+            psi_vals, dpsi, a.indptr, rows=a.expand_rows(), counter=counter
+        )
+    else:
+        dmasked = dpsi
+    if psi == "add":
+        c = sddmm_add(a, ops["u"], ops["v"])
+        dc = dmasked * adata * np.where(c > 0, 1.0, slope)
+        out["dU"] = segment_sum(dc, a.indptr)
+        out["dV"] = bincount_sum(a.indices, dc, a.shape[1])
+        return out, counter
+    if psi == "dot":
+        dgram = dmasked * adata
+    else:
+        cos, _, denom = sddmm_cosine(
+            a, ops["x"], norms=ops["norms"], with_denom=True
+        )
+        dgram = dmasked * adata * beta / denom
+        ddenom = -(dgram * cos)
+        norms_col = (
+            ops["norms"][:, None] if heads == 1 else ops["norms"][:, :, None]
+        )
+        nr = spmm(a.with_data(ddenom), norms_col, counter=counter)
+        nc = spmm(
+            a.with_data(ddenom).transpose(), norms_col, counter=counter
+        )
+        out["dNormRow"] = nr[..., 0]
+        out["dNormCol"] = nc[..., 0]
+    out["dRow"] = spmm(a.with_data(dgram), ops["x"], counter=counter)
+    out["dCol"] = spmm(
+        a.with_data(dgram).transpose(), ops["x"], counter=counter
+    )
+    return out, counter
+
+
+def megakernel_results(a, psi, ops, slope, beta, counter=None):
+    counter = counter if counter is not None else FlopCounter()
+    kwargs = {"slope": slope, "beta": beta}
+    if psi == "add":
+        kwargs.update(u=ops["u"], v=ops["v"])
+    else:
+        kwargs.update(x_src=ops["x"], x_dst=ops["x"])
+        if psi == "cosine":
+            kwargs["norms"] = ops["norms"]
+    z, stats = attention_forward(a, psi, ops["y"], counter=counter, **kwargs)
+    grads = attention_backward(
+        a, psi, ops["y"], ops["dz"], stats=stats, counter=counter, **kwargs
+    )
+    return {"Z": z, **grads}, counter
+
+
+class TestKernelParity:
+    """Megakernel vs the unfused kernel chain, every output, 1e-10."""
+
+    @pytest.mark.parametrize("heads", [1, 8])
+    @pytest.mark.parametrize("psi", PSIS)
+    def test_forward_backward_parity(self, psi, heads):
+        rng = np.random.default_rng(42)
+        for name, a in _patterns(rng):
+            ops = _operands(rng, a.shape[0], heads, 5, 7, psi)
+            want, _ = unfused_reference(a, psi, ops, slope=0.3, beta=0.7)
+            got, _ = megakernel_results(a, psi, ops, slope=0.3, beta=0.7)
+            assert set(got) == set(want)
+            for key in want:
+                np.testing.assert_allclose(
+                    got[key], want[key], rtol=RTOL, atol=ATOL,
+                    err_msg=f"{psi}/{heads} heads/{name}/{key}",
+                )
+
+    @pytest.mark.parametrize("psi", PSIS)
+    def test_flop_accounting_matches_unfused(self, psi):
+        """Fused ops are counted once, equal to the summed unfused counts."""
+        rng = np.random.default_rng(3)
+        a = random_csr(rng, 40, 40, density=0.2, ensure_empty_row=True)
+        for heads in (1, 8):
+            ops = _operands(rng, 40, heads, 5, 7, psi)
+            _, ref_counter = unfused_reference(
+                a, psi, ops, slope=0.3, beta=0.7
+            )
+            _, mega_counter = megakernel_results(
+                a, psi, ops, slope=0.3, beta=0.7
+            )
+            assert mega_counter.by_label == ref_counter.by_label
+            assert mega_counter.total == ref_counter.total
+
+
+class TestProgramParity:
+    """DagLayer(fused=True) against the untouched interpreter."""
+
+    @pytest.fixture(scope="class")
+    def adjacency(self):
+        return prepare_adjacency(
+            erdos_renyi(90, 720, seed=11), dtype=np.float64
+        )
+
+    @pytest.mark.parametrize("model,kw", [
+        ("va", {}),
+        ("agnn", {"beta": 0.7}),
+        ("gat", {"slope": 0.3}),
+    ])
+    def test_layer_parity(self, adjacency, model, kw):
+        rng = np.random.default_rng(1)
+        h = rng.normal(size=(90, 12))
+        g = rng.normal(size=(90, 6))
+        ref = DagLayer(model, 12, 6, seed=4, fused=False, **kw)
+        fus = DagLayer(model, 12, 6, seed=4, fused=True, **kw)
+        h_ref, cache_ref = ref.forward(adjacency, h)
+        h_fus, cache_fus = fus.forward(adjacency, h)
+        assert cache_fus.runner.fused and not cache_ref.runner.fused
+        np.testing.assert_allclose(h_fus, h_ref, rtol=RTOL, atol=ATOL)
+        dh_ref, grads_ref = ref.backward(cache_ref, g)
+        dh_fus, grads_fus = fus.backward(cache_fus, g)
+        np.testing.assert_allclose(dh_fus, dh_ref, rtol=RTOL, atol=ATOL)
+        assert set(grads_fus) == set(grads_ref)
+        for key in grads_ref:
+            np.testing.assert_allclose(
+                grads_fus[key], grads_ref[key], rtol=RTOL, atol=ATOL,
+                err_msg=f"{model}/{key}",
+            )
+
+    @pytest.mark.parametrize("model,kw", [
+        ("va", {}),
+        ("agnn", {"beta": 0.9}),
+        ("gat", {"slope": 0.2}),
+    ])
+    def test_gradcheck_through_fused_layer(self, model, kw):
+        """Central-difference check of every parameter gradient with the
+        megakernel engaged end to end (same idiom as
+        ``tests/test_models_gradcheck.py``)."""
+        rng = np.random.default_rng(9)
+        a = random_csr(rng, 20, 20, density=0.3, ensure_empty_row=True)
+        h = rng.normal(size=(20, 4))
+        target = rng.normal(size=(20, 3))
+        net = GnnModel([
+            DagLayer(model, 4, 5, activation="tanh", seed=2,
+                     fused=True, **kw),
+            DagLayer(model, 5, 3, activation="identity", seed=3,
+                     fused=True, **kw),
+        ])
+        loss = MSELoss()
+        out = net.forward(a, h, training=True)
+        grads = net.backward(loss.gradient(out, target))
+        eps = 1e-6
+        for layer_index, layer in enumerate(net.layers):
+            for name, param in layer.parameters().items():
+                flat = param.reshape(-1)
+                for i in rng.choice(
+                    flat.size, size=min(5, flat.size), replace=False
+                ):
+                    orig = flat[i]
+                    flat[i] = orig + eps
+                    up = loss.value(net.forward(a, h, training=False), target)
+                    flat[i] = orig - eps
+                    down = loss.value(
+                        net.forward(a, h, training=False), target
+                    )
+                    flat[i] = orig
+                    numeric = (up - down) / (2 * eps)
+                    analytic = np.asarray(
+                        grads[layer_index][name]
+                    ).reshape(-1)[i]
+                    denom = max(1e-8, abs(numeric) + abs(analytic))
+                    assert abs(numeric - analytic) / denom < 1e-6, (
+                        f"{model} layer {layer_index} {name}[{i}]"
+                    )
+
+
+class TestResourceGuarantees:
+    """No edge-sized intermediates; plans memoised; env override."""
+
+    def test_no_nnz_sized_intermediates(self):
+        """Fused training step on nnz >> block budget: every per-edge
+        quantity lives in a cache-sized pooled buffer, and the engine
+        never materialises an edge array."""
+        a = prepare_adjacency(
+            erdos_renyi(2048, 163840, seed=1), dtype=np.float64
+        )
+        assert a.nnz > _BLOCK_SCALAR_BUDGET  # the claim is non-vacuous
+        rng = np.random.default_rng(0)
+        h = rng.normal(size=(2048, 32))
+        g = rng.normal(size=(2048, 16))
+        layer = DagLayer("gat", 32, 16, seed=3, fused=True)
+        clear_workspaces()
+        base = event_counter().snapshot()
+        _, cache = layer.forward(a, h)
+        layer.backward(cache, g)
+        after = event_counter().snapshot()
+        assert cache.runner.fused
+        assert after.get("megakernel.forward", 0) > base.get(
+            "megakernel.forward", 0
+        )
+        assert after.get("megakernel.backward", 0) > base.get(
+            "megakernel.backward", 0
+        )
+        engine = cache.runner._engine
+        assert engine._edge == {}  # no (nnz,) edge arrays memoised
+        # Every pooled sweep buffer is block-sized: bounded by the plan's
+        # largest row block (×2 for the pool's geometric growth), never
+        # by nnz. Blocks are row-granular, so max_block_edges can exceed
+        # the nominal scalar budget, but stays a small fraction of nnz.
+        plans = list(a.structure._sweep_plans.values())
+        assert plans  # the planner really ran for this pattern
+        cap = 2 * max(
+            p.max_block_edges * p.heads * p.k_chunk for p in plans
+        )
+        assert all(8 * p.max_block_edges < a.nnz for p in plans)
+        mega_buffers = {
+            tag: buf.shape[0]
+            for (tag, _), buf in _POOL.buffers.items()
+            if tag.startswith("mega.")
+        }
+        assert mega_buffers  # the sweep really ran through the pool
+        for tag, capacity in mega_buffers.items():
+            assert capacity <= cap, (
+                f"{tag} grew to {capacity} elements "
+                f"(block cap {cap}, nnz={a.nnz})"
+            )
+        # The per-edge score/softmax buffers — the arrays the unfused
+        # path materialises at (nnz,) — stay strictly block-sized.
+        for tag in ("mega.scores", "mega.dpsi"):
+            key = next(k for k in mega_buffers if k == tag)
+            assert 8 * mega_buffers[key] < a.nnz
+
+    def test_plan_memoised_per_pattern_heads_k(self):
+        a = prepare_adjacency(erdos_renyi(64, 512, seed=2), dtype=np.float64)
+        base = event_counter().snapshot()
+        p1 = plan_sweep(a.structure, 1, 32)
+        p2 = plan_sweep(a.structure, 1, 32)
+        p3 = plan_sweep(a.structure, 8, 32)
+        after = event_counter().snapshot()
+        assert p2 is p1
+        assert p3 is not p1
+        assert after.get("megaplan.computed", 0) - base.get(
+            "megaplan.computed", 0
+        ) == 2
+        assert after.get("megaplan.hit", 0) - base.get(
+            "megaplan.hit", 0
+        ) == 1
+
+    def test_strategy_selection_from_degree_cv(self):
+        rng = np.random.default_rng(7)
+        regular = prepare_adjacency(
+            erdos_renyi(256, 4096, seed=3), dtype=np.float64
+        )
+        assert plan_sweep(regular.structure, 1, 32).strategy == "uniform"
+        skewed = _single_row_csr(rng, 256)
+        plan = plan_sweep(skewed.structure, 1, 32)
+        assert plan.strategy == "balanced"
+        # Balanced blocks cover the row range exactly once.
+        starts = plan.block_starts
+        assert starts[0] == 0 and starts[-1] == 256
+        assert np.all(np.diff(starts) > 0)
+
+    def test_repro_fusion_env_override(self, monkeypatch):
+        a = random_csr(np.random.default_rng(4), 12, 12, density=0.4)
+        rng = np.random.default_rng(5)
+        h = rng.normal(size=(12, 4))
+        layer_kwargs = dict(model="va", in_dim=4, out_dim=3, seed=1)
+
+        monkeypatch.delenv("REPRO_FUSION", raising=False)
+        assert fusion_enabled_default() is False
+        _, cache = DagLayer(**layer_kwargs).forward(a, h)
+        assert not cache.runner.fused  # default: interpreter untouched
+
+        monkeypatch.setenv("REPRO_FUSION", "1")
+        assert fusion_enabled_default() is True
+        _, cache = DagLayer(**layer_kwargs).forward(a, h)
+        assert cache.runner.fused
+        # Explicit fused=False wins over the environment.
+        _, cache = DagLayer(**layer_kwargs, fused=False).forward(a, h)
+        assert not cache.runner.fused
+
+        monkeypatch.setenv("REPRO_FUSION", "off")
+        assert fusion_enabled_default() is False
+        monkeypatch.setenv("REPRO_FUSION", "maybe")
+        with pytest.raises(ValueError, match="REPRO_FUSION"):
+            fusion_enabled_default()
+
+    def test_unmatched_program_falls_back(self):
+        """A program without the attention chain runs on the
+        interpreter even with fused=True (plus an unmatched event)."""
+        from repro.fusion.dag import OpDag
+
+        dag = OpDag()
+        h = dag.input("H", "nk")
+        a = dag.input("A", "nn", sparse=True)
+        psi = dag.hadamard(a, dag.matmul(h, dag.transpose(h)))
+        dag.set_output(dag.row_sum(psi))  # not Z = Psi @ Y
+        rng = np.random.default_rng(6)
+        csr = random_csr(rng, 10, 10, density=0.4)
+        base = event_counter().snapshot()
+        runner = ProgramRunner(
+            dag, {"H": rng.normal(size=(10, 3)), "A": csr}, fused=True
+        )
+        assert not runner.fused
+        after = event_counter().snapshot()
+        assert after.get("megakernel.unmatched", 0) > base.get(
+            "megakernel.unmatched", 0
+        )
+        ref = ProgramRunner(
+            dag, {"H": runner._inputs["H"], "A": csr}, fused=False
+        )
+        np.testing.assert_allclose(runner.run(), ref.run(), rtol=RTOL)

@@ -26,7 +26,11 @@ import pytest
 
 from benchmarks.conftest import RESULTS_DIR, by, emit, run_point, sweep_benchmark
 from repro.bench.configs import FIGURE_CONFIGS
-from repro.bench.strong_scaling import MEDIUM_ER, measure_strong_scaling
+from repro.bench.strong_scaling import (
+    MEDIUM_ER,
+    can_show_speedup,
+    measure_strong_scaling,
+)
 
 
 def _sweep(config_name: str):
@@ -119,32 +123,41 @@ def test_fig6_process_backend_measured(sweep_benchmark):
 
     The figure sweeps above report *modeled* time from exact traffic
     accounting. This point runs the medium-ER configuration on real OS
-    processes and records measured epoch-loop seconds and the p=4 vs
-    p=1 speedup into ``fig6_process_backend.json``. The speedup is
-    recorded, not gated: it depends on the host's core count (a 1-core
-    CI runner time-slices the ranks, so only multi-core hosts can show
-    speedup > 1), whereas the correctness of the numbers does not —
-    losses must be identical across p and match the thread backend.
+    processes — once synchronously and once with the comm/compute-
+    overlapped schedules (``overlap=True``) — and records measured
+    epoch-loop seconds, the p=4 vs p=1 speedup, and the per-rank
+    wait-time maximum into ``fig6_process_backend.json``. Speedup (and
+    the overlap wall-clock win) is *asserted only when the host has
+    enough cores*: a 1-core CI runner time-slices the ranks, so there
+    overlap cannot reduce wall time and the numbers are recorded, not
+    gated. Correctness is always gated — losses must be bit-identical
+    across p, across backends, and across overlap modes, and the byte
+    accounting must not depend on the transport or the overlap mode.
     """
     rows = sweep_benchmark(
         lambda: measure_strong_scaling(
-            model_name="AGNN", backend="process", p_list=(1, 4)
+            model_name="AGNN", backend="process", p_list=(1, 4),
+            overlap=False,
         )
+    )
+    rows_overlap = measure_strong_scaling(
+        model_name="AGNN", backend="process", p_list=(1, 4), overlap=True
     )
 
     header = (
-        f"{'backend':<8} {'p':>3} {'n':>6} {'k':>4} "
-        f"{'train_s':>10} {'speedup':>8} {'comm_words':>11}"
+        f"{'backend':<8} {'ovl':>3} {'p':>3} {'n':>6} {'k':>4} "
+        f"{'train_s':>10} {'speedup':>8} {'max_wait_s':>10} "
+        f"{'comm_words':>11}"
     )
     print()
     print(header)
     print("-" * len(header))
-    for row in rows:
-        speedup = row["speedup_vs_p1"]
+    for row in rows + rows_overlap:
         print(
-            f"{row['backend']:<8} {row['p']:>3} {row['n']:>6} "
-            f"{row['k']:>4} {row['train_s']:>10.4f} "
-            f"{speedup:>8.3f} {row['comm_words']:>11}"
+            f"{row['backend']:<8} {int(row['overlap']):>3} {row['p']:>3} "
+            f"{row['n']:>6} {row['k']:>4} {row['train_s']:>10.4f} "
+            f"{row['speedup_vs_p1']:>8.3f} {row['max_wait_s']:>10.4f} "
+            f"{row['comm_words']:>11}"
         )
 
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -152,20 +165,31 @@ def test_fig6_process_backend_measured(sweep_benchmark):
         "figure": "fig6_process_backend",
         "config": MEDIUM_ER,
         "cpu_count": os.cpu_count(),
+        "speedup_gated": can_show_speedup(4),
         "note": (
             "measured wall-clock of the epoch loop on spawned process "
-            "ranks; speedup_vs_p1 > 1 requires cpu_count >= p"
+            "ranks, synchronous vs comm/compute-overlapped schedules; "
+            "speedup_vs_p1 > 1 (and the overlap win) requires "
+            "cpu_count >= p"
         ),
         "rows": rows,
+        "rows_overlap": rows_overlap,
     }
     with open(RESULTS_DIR / "fig6_process_backend.json", "w") as fh:
         json.dump(payload, fh, indent=2)
 
-    # Correctness is gated; speed is recorded.
-    assert all(row["backend"] == "process" for row in rows)
-    assert all(row["train_s"] > 0 for row in rows)
+    # Correctness is always gated; speed only on capable hosts.
+    assert all(row["backend"] == "process" for row in rows + rows_overlap)
+    assert all(row["train_s"] > 0 for row in rows + rows_overlap)
     first_losses = {row["first_loss"] for row in rows}
     assert len(first_losses) == 1, "loss must not depend on p"
+    assert {row["first_loss"] for row in rows_overlap} == first_losses, (
+        "overlap must not change the numerics"
+    )
+    for sync_row, ovl_row in zip(rows, rows_overlap):
+        assert sync_row["comm_words"] == ovl_row["comm_words"], (
+            "overlap must not change the traffic"
+        )
     thread_row = measure_strong_scaling(
         model_name="AGNN", backend="thread", p_list=(4,)
     )[0]
@@ -175,3 +199,17 @@ def test_fig6_process_backend_measured(sweep_benchmark):
     assert thread_row["comm_words"] == next(
         row["comm_words"] for row in rows if row["p"] == 4
     ), "byte accounting must be transport-independent"
+
+    if can_show_speedup(4):
+        # Multi-core host: ranks run on real cores, so p=4 must beat
+        # p=1 and the overlapped schedule must not lose to the
+        # synchronous one beyond timing noise (the cost model predicts
+        # max(compute, bandwidth) <= compute + bandwidth).
+        sync4 = next(row for row in rows if row["p"] == 4)
+        ovl4 = next(row for row in rows_overlap if row["p"] == 4)
+        assert sync4["speedup_vs_p1"] > 1.0, (
+            f"no measured strong scaling on a {os.cpu_count()}-core host"
+        )
+        assert ovl4["train_s"] < sync4["train_s"] * 1.25, (
+            "overlapped schedules regressed wall time beyond noise"
+        )

@@ -1,0 +1,104 @@
+"""Per-rank wait-time breakdown reporter (CI artifact producer).
+
+Runs the medium-ER training point once synchronously and once with the
+comm/compute-overlapped schedules and dumps every rank's
+:meth:`~repro.runtime.stats.RunStats.breakdown` — wall seconds, blocked
+seconds, compute share and the per-phase wait attribution — as JSON.
+The artifact answers "where do the ranks stall, and how much of it does
+overlap hide" without re-running anything locally::
+
+    PYTHONPATH=src python -m repro.bench.wait_breakdown \
+        --out benchmarks/results/wait_breakdown.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from typing import Any
+
+import numpy as np
+
+from repro.bench.strong_scaling import MEDIUM_ER, timed_training_program
+from repro.graphs import erdos_renyi
+from repro.graphs.prep import prepare_adjacency
+from repro.runtime.executor import run_spmd
+from repro.util.rng import make_rng
+
+__all__ = ["collect_wait_breakdown", "main"]
+
+
+def collect_wait_breakdown(
+    model_name: str = "AGNN",
+    backend: str = "process",
+    p: int = 4,
+    n: int = MEDIUM_ER["n"],
+    density: float = MEDIUM_ER["density"],
+    k: int = MEDIUM_ER["k"],
+    layers: int = MEDIUM_ER["layers"],
+    epochs: int = MEDIUM_ER["epochs"],
+    seed: int = MEDIUM_ER["seed"],
+    timeout: float = 600.0,
+) -> dict[str, Any]:
+    """One training run per overlap mode; returns the breakdown payload."""
+    m = max(n, int(density * n * n))
+    a = prepare_adjacency(erdos_renyi(n, m, seed=seed), dtype=np.float64)
+    rng = make_rng(seed + 1)
+    features = rng.normal(size=(n, k)).astype(np.float64)
+    labels = rng.integers(0, 4, size=n)
+
+    modes: dict[str, Any] = {}
+    for label, overlap in (("synchronous", False), ("overlap", True)):
+        result = run_spmd(
+            p, timed_training_program, timeout=timeout, backend=backend,
+            model_name=model_name, a=a, features=features, labels=labels,
+            hidden_dim=k, out_dim=4, num_layers=layers, epochs=epochs,
+            lr=0.01, seed=seed, dtype=np.float64, overlap=overlap,
+        )
+        modes[label] = {
+            "backend": result.backend,
+            "train_s": max(elapsed for elapsed, _losses in result.values),
+            "max_wait_s": result.stats.max_wait_s,
+            "total_wait_s": result.stats.total_wait_s,
+            "per_rank": result.stats.breakdown(),
+        }
+    return {
+        "figure": "wait_breakdown",
+        "model": model_name,
+        "p": p,
+        "n": n,
+        "m": m,
+        "k": k,
+        "layers": layers,
+        "epochs": epochs,
+        "cpu_count": os.cpu_count(),
+        "modes": modes,
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="AGNN")
+    parser.add_argument("--backend", default="process",
+                        choices=("thread", "process"))
+    parser.add_argument("--p", type=int, default=4)
+    parser.add_argument("--out", default="benchmarks/results/wait_breakdown.json")
+    args = parser.parse_args(argv)
+    payload = collect_wait_breakdown(
+        model_name=args.model, backend=args.backend, p=args.p
+    )
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    for label, mode in payload["modes"].items():
+        print(
+            f"{label:<12} train_s={mode['train_s']:.3f} "
+            f"max_wait_s={mode['max_wait_s']:.3f} "
+            f"total_wait_s={mode['total_wait_s']:.3f}"
+        )
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -108,6 +108,7 @@ def _inference_program(
     seed: int,
     dtype,
     layer_kwargs: dict,
+    overlap: bool | None = None,
 ):
     """SPMD rank program for :func:`distributed_inference`.
 
@@ -120,7 +121,8 @@ def _inference_program(
     h_block = distribute_features(features, grid)
     model = build_dist_model(
         grid, model_name, features.shape[1], hidden_dim, out_dim,
-        num_layers=num_layers, seed=seed, dtype=dtype, **layer_kwargs,
+        num_layers=num_layers, seed=seed, dtype=dtype, overlap=overlap,
+        **layer_kwargs,
     )
     out_block = model.forward(
         a_block, h_block, counter=comm.stats.flops, training=False
@@ -140,20 +142,22 @@ def distributed_inference(
     dtype: np.dtype | type = np.float32,
     timeout: float = 120.0,
     backend: str | None = None,
+    overlap: bool | None = None,
     **layer_kwargs,
 ) -> DistributedResult:
     """Run a full inference pass on ``p`` simulated ranks.
 
     ``p`` must be a perfect square (the Section-7 grid). Returns the
     assembled output features and the run's traffic statistics.
-    ``backend`` selects the execution fabric (thread/process); see
+    ``backend`` selects the execution fabric (thread/process) and
+    ``overlap`` the comm/compute-overlapped layer schedules; see
     :func:`repro.runtime.executor.run_spmd`.
     """
     result = run_spmd(
         p, _inference_program, timeout=timeout, backend=backend,
         model_name=model_name, a=a, features=features,
         hidden_dim=hidden_dim, out_dim=out_dim, num_layers=num_layers,
-        seed=seed, dtype=dtype, layer_kwargs=layer_kwargs,
+        seed=seed, dtype=dtype, layer_kwargs=layer_kwargs, overlap=overlap,
     )
     return DistributedResult(
         output=result.values[0], losses=[], stats=result.stats
@@ -178,6 +182,7 @@ def _training_program(
     collect_output: bool,
     denom: int,
     layer_kwargs: dict,
+    overlap: bool | None = None,
 ):
     """SPMD rank program for :func:`distributed_train` (module-level,
     picklable — see :func:`_inference_program`)."""
@@ -190,7 +195,8 @@ def _training_program(
     mask_block = None if mask is None else mask[c0:c1]
     model = build_dist_model(
         grid, model_name, features.shape[1], hidden_dim, out_dim,
-        num_layers=num_layers, seed=seed, dtype=dtype, **layer_kwargs,
+        num_layers=num_layers, seed=seed, dtype=dtype, overlap=overlap,
+        **layer_kwargs,
     )
     losses: list[float] = []
     out_block = None
@@ -235,6 +241,7 @@ def distributed_train(
     timeout: float = 300.0,
     collect_output: bool = True,
     backend: str | None = None,
+    overlap: bool | None = None,
     **layer_kwargs,
 ) -> DistributedResult:
     """Full-batch distributed training for ``epochs`` iterations.
@@ -243,7 +250,8 @@ def distributed_train(
     step — the paper's measured training unit. Returns the per-epoch
     losses, the final output features (assembled at rank 0 when
     ``collect_output``) and traffic statistics. ``backend`` selects the
-    execution fabric (thread/process).
+    execution fabric (thread/process); ``overlap`` the comm/compute-
+    overlapped layer schedules (``None`` defers to ``REPRO_OVERLAP``).
     """
     n = features.shape[0]
     denom = _loss_denominator(loss, mask, n, out_dim)
@@ -253,7 +261,7 @@ def distributed_train(
         hidden_dim=hidden_dim, out_dim=out_dim, num_layers=num_layers,
         epochs=epochs, lr=lr, loss=loss, mask=mask, seed=seed, dtype=dtype,
         collect_output=collect_output, denom=denom,
-        layer_kwargs=layer_kwargs,
+        layer_kwargs=layer_kwargs, overlap=overlap,
     )
     losses, output = result.values[0]
     return DistributedResult(output=output, losses=losses, stats=result.stats)

@@ -19,6 +19,17 @@ weight-gradient reduce    ``O(k^2 log p)``
 
 summing to the paper's :math:`O(nk/\\sqrt{p} + k^2)` per layer.
 
+Rather than interleaving communicator calls and math by hand, each
+layer *declares* its forward and backward passes as a
+:class:`~repro.distributed.schedule.CommSchedule` — an ordered list of
+:class:`~repro.distributed.schedule.Compute` kernels and labelled
+:class:`~repro.distributed.schedule.Transfer` patterns. The base class
+drives the shared scheduler, which can run the transfers synchronously
+(the parity oracle) or overlapped with the local kernels scheduled
+between a transfer and its first consumer (``REPRO_OVERLAP=1``).
+Transfer initiation order is identical in both modes, so traffic
+counters and tag streams never diverge.
+
 Replication invariant: input feature blocks, weights, and every
 backward output are identical across the ranks of a grid column; all
 code paths preserve this bit-for-bit (NumPy kernels are deterministic),
@@ -29,7 +40,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, ClassVar
 
 import numpy as np
 
@@ -42,9 +53,12 @@ from repro.distributed.ops import (
     OpSequencer,
     distributed_row_softmax,
     distributed_row_softmax_backward,
-    reduce_and_redistribute,
-    row_bcast_from_diagonal,
-    transpose_exchange,
+)
+from repro.distributed.schedule import (
+    CommSchedule,
+    Compute,
+    Transfer,
+    overlap_default,
 )
 from repro.models.base import glorot
 from repro.runtime.grid import ProcessGrid
@@ -64,63 +78,71 @@ __all__ = [
 ]
 
 
-# ----------------------------------------------------------------------
-# Shared SPMD plumbing (used by every layer below; the helpers fix the
-# communication-op order, which the sequencer-equivalence tests pin)
-# ----------------------------------------------------------------------
-def _aggregate_redistribute(grid, s_block, hp, sequencer, counter):
-    """Aggregation tail shared by all layers: :math:`Z_j` from local
-    :math:`S_{ij} H'_j` partials via one reduce+redistribute."""
-    grid.comm.stats.set_phase("aggregate")
-    partial = spmm(s_block, hp, counter=counter)
-    grid.comm.stats.set_phase("redistribute")
-    return reduce_and_redistribute(grid, partial, sequencer)
+@dataclass
+class _DistLayerCache:
+    """Training cache shared by every distributed layer.
 
-
-def _project_aggregate_redistribute(
-    grid, s_block, h_block, weight, sequencer, counter
-):
-    """``project_first`` forward tail: ``hp = H W`` then aggregate."""
-    grid.comm.stats.set_phase("aggregate")
-    hp = mm(h_block, weight, counter=counter)
-    z_block = _aggregate_redistribute(grid, s_block, hp, sequencer, counter)
-    return hp, z_block
-
-
-def _backward_entry(grid, s_block, h_block, g_block, counter):
-    """Common backward prologue of VA/AGNN/GCN.
-
-    Broadcasts the output gradient along grid rows, forms the
-    :math:`S^T G` partial and allreduces the Eq.-13 weight gradient
-    :math:`Y = H^T S^T G` — in that exact communication order.
+    One dataclass with per-model optional fields replaces the five
+    near-identical per-layer caches the schedule refactor exposed.
+    ``as_ctx`` seeds the backward schedule's context with whatever the
+    forward pass recorded; ``caches`` is only used by the multi-head
+    per-head oracle (a list of per-head caches, never a ctx entry).
     """
-    g_row = row_bcast_from_diagonal(grid, g_block)
-    stg_partial = spmm(s_block.transpose(), g_row, counter=counter)
-    d_weight = grid.comm.allreduce(
-        mm(h_block.T, stg_partial, counter=counter)
+
+    a_block: CSRMatrix | None = None
+    h_block: np.ndarray | None = None
+    z_block: np.ndarray | None = None
+    h_row: np.ndarray | None = None
+    s_block: CSRMatrix | None = None
+    hp: np.ndarray | None = None
+    hp_col: np.ndarray | None = None
+    hp_row: np.ndarray | None = None
+    raw_values: np.ndarray | None = None
+    cos_values: np.ndarray | None = None
+    norms_row: np.ndarray | None = None
+    norms_col: np.ndarray | None = None
+    denom: np.ndarray | None = None
+    caches: list | None = None
+
+    _CTX_FIELDS: ClassVar[tuple[str, ...]] = (
+        "a_block", "h_block", "z_block", "h_row", "s_block", "hp",
+        "hp_col", "hp_row", "raw_values", "cos_values", "norms_row",
+        "norms_col", "denom",
     )
-    return g_row, stg_partial, d_weight
 
-
-def _assemble_gamma(grid, sequencer, row_term, col_term):
-    """Fold the row-role feature terms into the column distribution:
-    :math:`\\Gamma_j = \\text{col} + (\\text{row})^T`-exchange."""
-    return col_term + transpose_exchange(grid, row_term, sequencer)
+    def as_ctx(self) -> dict[str, Any]:
+        """Non-``None`` fields as a schedule context seed."""
+        return {
+            name: value
+            for name in self._CTX_FIELDS
+            if (value := getattr(self, name)) is not None
+        }
 
 
 class DistGnnLayer(ABC):
-    """Base class: replicated parameters + SPMD forward/backward.
+    """Base class: replicated parameters + schedule-driven SPMD passes.
 
     Parameters are initialised from an explicit ``seed`` so that every
     rank constructs bit-identical replicas — the distributed equivalent
     of the paper's "weight matrices W and vectors a are replicated
     across all processes".
+
+    Subclasses declare their data flow via :meth:`_forward_schedule` /
+    :meth:`_backward_schedule`; the concrete :meth:`forward` and
+    :meth:`backward` drivers here execute those schedules, apply the
+    activation, and assemble the cache/gradients. ``overlap`` selects
+    comm/compute-overlapped execution (default: the ``REPRO_OVERLAP``
+    environment variable).
     """
+
+    #: ctx keys (beyond ``a_block``/``h_block``/``z_block``) the
+    #: backward schedule reads; recorded into the training cache.
+    forward_cache_keys: ClassVar[tuple[str, ...]] = ()
 
     def __init__(self, activation: str) -> None:
         self.activation = get_activation(activation)
 
-    @abstractmethod
+    # ------------------------------------------------------------------
     def forward(
         self,
         grid: ProcessGrid,
@@ -129,6 +151,7 @@ class DistGnnLayer(ABC):
         sequencer: OpSequencer,
         counter: FlopCounter = null_counter(),
         training: bool = True,
+        overlap: bool | None = None,
     ) -> tuple[np.ndarray, Any]:
         """Compute the next column-replicated feature block.
 
@@ -136,8 +159,19 @@ class DistGnnLayer(ABC):
         value is :math:`H^{l+1}_j` (post-activation, already reduced
         and redistributed) plus a training cache exposing ``z_block``.
         """
+        overlap = overlap_default() if overlap is None else overlap
+        ctx: dict[str, Any] = {
+            "grid": grid, "a_block": a_block,
+            "h_block": h_block, "counter": counter,
+        }
+        self._forward_schedule().run(grid, sequencer, ctx, overlap=overlap)
+        h_next = self.activation.fn(ctx["z_block"])
+        if not training:
+            return h_next, None
+        keys = ("a_block", "h_block", "z_block") + self.forward_cache_keys
+        return h_next, _DistLayerCache(**{key: ctx[key] for key in keys})
 
-    @abstractmethod
+    # ------------------------------------------------------------------
     def backward(
         self,
         grid: ProcessGrid,
@@ -146,12 +180,35 @@ class DistGnnLayer(ABC):
         sequencer: OpSequencer,
         counter: FlopCounter = null_counter(),
         need_input_grad: bool = True,
+        overlap: bool | None = None,
     ) -> tuple[np.ndarray | None, dict[str, np.ndarray]]:
         """SPMD backward: ``g_block`` is :math:`dL/dZ` restricted to
         block ``j`` (column-replicated). Returns the input-feature
         gradient block (or ``None`` when ``need_input_grad=False`` —
         the first layer) and replicated parameter gradients.
         """
+        overlap = overlap_default() if overlap is None else overlap
+        ctx = cache.as_ctx()
+        ctx.update({"grid": grid, "counter": counter, "g_block": g_block})
+        self._backward_schedule(need_input_grad).run(
+            grid, sequencer, ctx, overlap=overlap
+        )
+        gamma = ctx["gamma"] if need_input_grad else None
+        return gamma, self._collect_grads(ctx)
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _forward_schedule(self) -> CommSchedule:
+        """Declare the forward pass; must produce ``z_block``."""
+
+    @abstractmethod
+    def _backward_schedule(self, need_input_grad: bool) -> CommSchedule:
+        """Declare the backward pass; must produce ``gamma`` when
+        ``need_input_grad`` and every key :meth:`_collect_grads` reads."""
+
+    @abstractmethod
+    def _collect_grads(self, ctx: dict[str, Any]) -> dict[str, np.ndarray]:
+        """Assemble the replicated parameter gradients from the ctx."""
 
     @abstractmethod
     def parameters(self) -> dict[str, np.ndarray]:
@@ -168,18 +225,10 @@ class DistGnnLayer(ABC):
 # ----------------------------------------------------------------------
 # Vanilla attention
 # ----------------------------------------------------------------------
-@dataclass
-class _DistVACache:
-    a_block: CSRMatrix
-    h_block: np.ndarray
-    h_row: np.ndarray
-    s_block: CSRMatrix
-    hp: np.ndarray
-    z_block: np.ndarray
-
-
 class DistVALayer(DistGnnLayer):
     """Distributed VA layer: one fused SDDMM + one SpMM + redistribution."""
+
+    forward_cache_keys = ("h_row", "s_block", "hp")
 
     def __init__(
         self,
@@ -194,42 +243,60 @@ class DistVALayer(DistGnnLayer):
         self.in_dim = in_dim
         self.out_dim = out_dim
 
-    def forward(self, grid, a_block, h_block, sequencer,
-                counter=null_counter(), training=True):
-        grid.comm.stats.set_phase("psi")
-        h_row = row_bcast_from_diagonal(grid, h_block)
-        dots = sddmm_dot(a_block, h_row, h_block, counter=counter)
-        s_block = a_block.with_data(a_block.data * dots)
-        hp, z_block = _project_aggregate_redistribute(
-            grid, s_block, h_block, self.weight, sequencer, counter
-        )
-        h_next = self.activation.fn(z_block)
-        if not training:
-            return h_next, None
-        return h_next, _DistVACache(
-            a_block=a_block, h_block=h_block, h_row=h_row,
-            s_block=s_block, hp=hp, z_block=z_block,
-        )
+    def _forward_schedule(self) -> CommSchedule:
+        return CommSchedule([
+            Transfer("h_row", "row_bcast", "h_block", phase="psi"),
+            # H W reads nothing remote — it runs while H_i is in flight.
+            Compute("hp", lambda c: mm(
+                c["h_block"], self.weight, counter=c["counter"])),
+            Compute("dots", lambda c: sddmm_dot(
+                c["a_block"], c["h_row"], c["h_block"], counter=c["counter"]
+            ), needs=("h_row",)),
+            Compute("s_block", lambda c: c["a_block"].with_data(
+                c["a_block"].data * c["dots"])),
+            Compute("partial", lambda c: spmm(
+                c["s_block"], c["hp"], counter=c["counter"])),
+            Transfer("z_block", "redistribute", "partial",
+                     phase="redistribute"),
+        ], name="va.forward")
 
-    def backward(self, grid, cache, g_block, sequencer,
-                 counter=null_counter(), need_input_grad=True):
-        grid.comm.stats.set_phase("backward")
-        a_block = cache.a_block
-        g_row, stg_partial, d_weight = _backward_entry(
-            grid, cache.s_block, cache.h_block, g_block, counter
-        )
-        if not need_input_grad:
-            return None, {"weight": d_weight}
+    def _backward_schedule(self, need_input_grad: bool) -> CommSchedule:
+        steps: list[Compute | Transfer] = [
+            Transfer("g_row", "row_bcast", "g_block", phase="backward"),
+            Compute("stg_partial", lambda c: spmm(
+                c["s_block"].transpose(), c["g_row"], counter=c["counter"]
+            ), needs=("g_row",)),
+            Compute("dw_local", lambda c: mm(
+                c["h_block"].T, c["stg_partial"], counter=c["counter"])),
+            Transfer("d_weight", "allreduce", "dw_local", phase="backward"),
+        ]
+        if need_input_grad:
+            steps += [
+                # The Eq.-14 score gradient and its two feature terms
+                # run under the weight-gradient allreduce.
+                Compute("ds", lambda c: sddmm_dot(
+                    c["a_block"], c["g_row"], c["hp"], counter=c["counter"])),
+                Compute("n_block", lambda c: c["a_block"].with_data(
+                    c["ds"] * c["a_block"].data)),
+                Compute("row_partial", lambda c: spmm(
+                    c["n_block"], c["h_block"], counter=c["counter"])),
+                Transfer("row_term", "row_allreduce", "row_partial",
+                         phase="backward"),
+                Compute("col_partial", lambda c: spmm(
+                    c["n_block"].transpose(), c["h_row"],
+                    counter=c["counter"],
+                ) + mm(c["stg_partial"], self.weight.T,
+                       counter=c["counter"])),
+                Transfer("col_term", "col_allreduce", "col_partial",
+                         phase="backward"),
+                Transfer("row_t", "transpose", "row_term", phase="backward"),
+                Compute("gamma", lambda c: c["col_term"] + c["row_t"],
+                        needs=("col_term", "row_t")),
+            ]
+        return CommSchedule(steps, name="va.backward")
 
-        ds = sddmm_dot(a_block, g_row, cache.hp, counter=counter)
-        n_block = a_block.with_data(ds * a_block.data)
-        row_partial = spmm(n_block, cache.h_block, counter=counter)
-        row_term = grid.row_comm.allreduce(row_partial)
-        col_partial = spmm(n_block.transpose(), cache.h_row, counter=counter)
-        col_partial = col_partial + mm(stg_partial, self.weight.T, counter=counter)
-        col_term = grid.col_comm.allreduce(col_partial)
-        gamma = _assemble_gamma(grid, sequencer, row_term, col_term)
-        return gamma, {"weight": d_weight}
+    def _collect_grads(self, ctx):
+        return {"weight": ctx["d_weight"]}
 
     def parameters(self):
         return {"weight": self.weight}
@@ -238,22 +305,13 @@ class DistVALayer(DistGnnLayer):
 # ----------------------------------------------------------------------
 # AGNN
 # ----------------------------------------------------------------------
-@dataclass
-class _DistAGNNCache:
-    a_block: CSRMatrix
-    h_block: np.ndarray
-    h_row: np.ndarray
-    s_block: CSRMatrix
-    hp: np.ndarray
-    cos_values: np.ndarray
-    norms_row: np.ndarray
-    norms_col: np.ndarray
-    denom: np.ndarray
-    z_block: np.ndarray
-
-
 class DistAGNNLayer(DistGnnLayer):
     """Distributed AGNN layer (cosine attention + distributed softmax)."""
+
+    forward_cache_keys = (
+        "h_row", "s_block", "hp", "cos_values",
+        "norms_row", "norms_col", "denom",
+    )
 
     def __init__(
         self,
@@ -274,80 +332,119 @@ class DistAGNNLayer(DistGnnLayer):
         self.in_dim = in_dim
         self.out_dim = out_dim
 
-    def forward(self, grid, a_block, h_block, sequencer,
-                counter=null_counter(), training=True):
-        grid.comm.stats.set_phase("psi")
-        h_row = row_bcast_from_diagonal(grid, h_block)
-        norms_col = np.sqrt(np.einsum("ij,ij->i", h_block, h_block))
-        norms_row = np.sqrt(np.einsum("ij,ij->i", h_row, h_row))
-        counter.add(4 * h_block.size, "norms")
-        dots = sddmm_dot(a_block, h_row, h_block, counter=counter)
-        denom = np.maximum(
-            norms_row[a_block.expand_rows()] * norms_col[a_block.indices],
-            self.eps,
-        )
-        cos = dots / denom
-        grid.comm.stats.set_phase("softmax")
-        soft = distributed_row_softmax(
-            grid, a_block, float(self.beta) * cos
-        )
-        counter.add(7 * a_block.nnz, "softmax")
-        s_block = a_block.with_data(soft)
-        hp, z_block = _project_aggregate_redistribute(
-            grid, s_block, h_block, self.weight, sequencer, counter
-        )
-        h_next = self.activation.fn(z_block)
-        if not training:
-            return h_next, None
-        return h_next, _DistAGNNCache(
-            a_block=a_block, h_block=h_block, h_row=h_row, s_block=s_block,
-            hp=hp, cos_values=cos, norms_row=norms_row, norms_col=norms_col,
-            denom=denom, z_block=z_block,
-        )
+    def _forward_schedule(self) -> CommSchedule:
+        def norms_row(c):
+            norms = np.sqrt(np.einsum("ij,ij->i", c["h_row"], c["h_row"]))
+            c["counter"].add(4 * c["h_block"].size, "norms")
+            return norms
 
-    def backward(self, grid, cache, g_block, sequencer,
-                 counter=null_counter(), need_input_grad=True):
-        grid.comm.stats.set_phase("backward")
-        a_block = cache.a_block
-        g_row, stg_partial, d_weight = _backward_entry(
-            grid, cache.s_block, cache.h_block, g_block, counter
-        )
-        ds = sddmm_dot(a_block, g_row, cache.hp, counter=counter)
-        dt = distributed_row_softmax_backward(
-            grid, a_block, cache.s_block.data, ds
-        )
-        grads = {"weight": d_weight}
+        def soft(c):
+            values = distributed_row_softmax(
+                c["grid"], c["a_block"], float(self.beta) * c["cos_values"]
+            )
+            c["counter"].add(7 * c["a_block"].nnz, "softmax")
+            return values
+
+        return CommSchedule([
+            Transfer("h_row", "row_bcast", "h_block", phase="psi"),
+            # Column norms and the projection only read local blocks —
+            # both overlap the broadcast.
+            Compute("norms_col", lambda c: np.sqrt(
+                np.einsum("ij,ij->i", c["h_block"], c["h_block"]))),
+            Compute("hp", lambda c: mm(
+                c["h_block"], self.weight, counter=c["counter"])),
+            Compute("norms_row", norms_row, needs=("h_row",)),
+            Compute("dots", lambda c: sddmm_dot(
+                c["a_block"], c["h_row"], c["h_block"], counter=c["counter"])),
+            Compute("denom", lambda c: np.maximum(
+                c["norms_row"][c["a_block"].expand_rows()]
+                * c["norms_col"][c["a_block"].indices],
+                self.eps,
+            )),
+            Compute("cos_values", lambda c: c["dots"] / c["denom"]),
+            Compute("soft", soft, phase="softmax"),
+            Compute("s_block", lambda c: c["a_block"].with_data(c["soft"])),
+            Compute("partial", lambda c: spmm(
+                c["s_block"], c["hp"], counter=c["counter"])),
+            Transfer("z_block", "redistribute", "partial",
+                     phase="redistribute"),
+        ], name="agnn.forward")
+
+    def _backward_schedule(self, need_input_grad: bool) -> CommSchedule:
+        steps: list[Compute | Transfer] = [
+            Transfer("g_row", "row_bcast", "g_block", phase="backward"),
+            Compute("stg_partial", lambda c: spmm(
+                c["s_block"].transpose(), c["g_row"], counter=c["counter"]
+            ), needs=("g_row",)),
+            Compute("dw_local", lambda c: mm(
+                c["h_block"].T, c["stg_partial"], counter=c["counter"])),
+            Transfer("d_weight", "allreduce", "dw_local", phase="backward"),
+            Compute("ds", lambda c: sddmm_dot(
+                c["a_block"], c["g_row"], c["hp"], counter=c["counter"])),
+            Compute("dt", lambda c: distributed_row_softmax_backward(
+                c["grid"], c["a_block"], c["s_block"].data, c["ds"]
+            ), phase="backward"),
+        ]
         if self.learnable_beta:
-            grads["beta"] = grid.comm.allreduce(
-                np.array(np.dot(dt, cache.cos_values))
-            ).astype(self.beta.dtype)
-        if not need_input_grad:
-            return None, grads
+            steps += [
+                Compute("d_beta_local", lambda c: np.array(
+                    np.dot(c["dt"], c["cos_values"]))),
+                Transfer("d_beta", "allreduce", "d_beta_local",
+                         phase="backward"),
+            ]
+        if need_input_grad:
+            def corrections(c):
+                # Diagonal corrections of the cosine Jacobian.
+                norms_row = np.maximum(c["norms_row"], self.eps)
+                norms_col = np.maximum(c["norms_col"], self.eps)
+                c["row_term"] = (
+                    c["row_sum"]
+                    - (c["rc"] / (norms_row**2))[:, None] * c["h_row"]
+                )
+                c["col_term"] = (
+                    c["col_sum"]
+                    - (c["cc"] / (norms_col**2))[:, None] * c["h_block"]
+                )
+                c["counter"].add(8 * c["a_block"].nnz, "agnn_vjp")
 
-        dc = float(self.beta) * dt
-        norms_row = np.maximum(cache.norms_row, self.eps)
-        norms_col = np.maximum(cache.norms_col, self.eps)
-        # Forward already gathered/clipped the per-edge norm products.
-        d_mat = a_block.with_data(dc / cache.denom)
+            steps += [
+                Compute("dc", lambda c: float(self.beta) * c["dt"]),
+                # Forward already gathered/clipped the per-edge norm
+                # products (``denom``).
+                Compute("d_mat", lambda c: c["a_block"].with_data(
+                    c["dc"] / c["denom"])),
+                Compute("row_partial", lambda c: spmm(
+                    c["d_mat"], c["h_block"], counter=c["counter"])),
+                Transfer("row_sum", "row_allreduce", "row_partial",
+                         phase="backward"),
+                Compute("col_partial", lambda c: spmm(
+                    c["d_mat"].transpose(), c["h_row"], counter=c["counter"]
+                ) + mm(c["stg_partial"], self.weight.T,
+                       counter=c["counter"])),
+                Transfer("col_sum", "col_allreduce", "col_partial",
+                         phase="backward"),
+                Compute("dcc", lambda c: c["dc"] * c["cos_values"]),
+                Compute("rc_local", lambda c: segment_sum(
+                    c["dcc"], c["a_block"].indptr)),
+                Transfer("rc", "row_allreduce", "rc_local",
+                         phase="backward"),
+                Compute("cc_local", lambda c: bincount_sum(
+                    c["a_block"].indices, c["dcc"], c["a_block"].shape[1])),
+                Transfer("cc", "col_allreduce", "cc_local",
+                         phase="backward"),
+                Compute(None, corrections,
+                        needs=("row_sum", "col_sum", "rc", "cc")),
+                Transfer("row_t", "transpose", "row_term", phase="backward"),
+                Compute("gamma", lambda c: c["col_term"] + c["row_t"],
+                        needs=("row_t",)),
+            ]
+        return CommSchedule(steps, name="agnn.backward")
 
-        row_partial = spmm(d_mat, cache.h_block, counter=counter)
-        row_term = grid.row_comm.allreduce(row_partial)
-        col_partial = spmm(d_mat.transpose(), cache.h_row, counter=counter)
-        col_partial = col_partial + mm(stg_partial, self.weight.T, counter=counter)
-        col_term = grid.col_comm.allreduce(col_partial)
-
-        # Diagonal corrections of the cosine Jacobian.
-        dcc = dc * cache.cos_values
-        rc = grid.row_comm.allreduce(segment_sum(dcc, a_block.indptr))
-        cc = grid.col_comm.allreduce(
-            bincount_sum(a_block.indices, dcc, a_block.shape[1])
-        )
-        row_term = row_term - (rc / (norms_row**2))[:, None] * cache.h_row
-        col_term = col_term - (cc / (norms_col**2))[:, None] * cache.h_block
-        counter.add(8 * a_block.nnz, "agnn_vjp")
-
-        gamma = _assemble_gamma(grid, sequencer, row_term, col_term)
-        return gamma, grads
+    def _collect_grads(self, ctx):
+        grads = {"weight": ctx["d_weight"]}
+        if self.learnable_beta:
+            grads["beta"] = ctx["d_beta"].astype(self.beta.dtype)
+        return grads
 
     def parameters(self):
         params = {"weight": self.weight}
@@ -359,17 +456,6 @@ class DistAGNNLayer(DistGnnLayer):
 # ----------------------------------------------------------------------
 # GAT
 # ----------------------------------------------------------------------
-@dataclass
-class _DistGATCache:
-    a_block: CSRMatrix
-    h_block: np.ndarray
-    hp_col: np.ndarray
-    hp_row: np.ndarray
-    s_block: CSRMatrix
-    raw_values: np.ndarray
-    z_block: np.ndarray
-
-
 class DistGATLayer(DistGnnLayer):
     """Distributed GAT layer.
 
@@ -378,6 +464,8 @@ class DistGATLayer(DistGnnLayer):
     broadcast along the grid row — one broadcast covers both the
     additive SDDMM (:math:`u_i + v_j`) and the backward pass.
     """
+
+    forward_cache_keys = ("hp_col", "hp_row", "s_block", "raw_values")
 
     def __init__(
         self,
@@ -397,82 +485,125 @@ class DistGATLayer(DistGnnLayer):
         self.in_dim = in_dim
         self.out_dim = out_dim
 
-    def forward(self, grid, a_block, h_block, sequencer,
-                counter=null_counter(), training=True):
-        grid.comm.stats.set_phase("psi")
-        hp_col = mm(h_block, self.weight, counter=counter)
-        hp_row = row_bcast_from_diagonal(grid, hp_col)
-        u = hp_row @ self.a_src
-        v = hp_col @ self.a_dst
-        counter.add(4 * hp_col.size, "gat_uv")
-        raw = sddmm_add(a_block, u, v, counter=counter)
-        logits = leaky_relu(raw, self.slope)
-        grid.comm.stats.set_phase("softmax")
-        soft = distributed_row_softmax(grid, a_block, logits)
-        counter.add(6 * a_block.nnz, "softmax")
-        s_block = a_block.with_data(soft)
-        z_block = _aggregate_redistribute(
-            grid, s_block, hp_col, sequencer, counter
-        )
-        h_next = self.activation.fn(z_block)
-        if not training:
-            return h_next, None
-        return h_next, _DistGATCache(
-            a_block=a_block, h_block=h_block, hp_col=hp_col, hp_row=hp_row,
-            s_block=s_block, raw_values=raw, z_block=z_block,
-        )
+    def _forward_schedule(self) -> CommSchedule:
+        def u(c):
+            result = c["hp_row"] @ self.a_src
+            c["counter"].add(4 * c["hp_col"].size, "gat_uv")
+            return result
 
-    def backward(self, grid, cache, g_block, sequencer,
-                 counter=null_counter(), need_input_grad=True):
-        grid.comm.stats.set_phase("backward")
-        a_block = cache.a_block
-        g_row = row_bcast_from_diagonal(grid, g_block)
-        ds = sddmm_dot(a_block, g_row, cache.hp_col, counter=counter)
-        dlogits = distributed_row_softmax_backward(
-            grid, a_block, cache.s_block.data, ds
-        )
-        draw = dlogits * leaky_relu_grad(cache.raw_values, self.slope)
-        du = grid.row_comm.allreduce(segment_sum(draw, a_block.indptr))
-        dv = grid.col_comm.allreduce(
-            bincount_sum(a_block.indices, draw, a_block.shape[1])
-        )
-        counter.add(4 * a_block.nnz, "gat_vjp")
+        def soft(c):
+            values = distributed_row_softmax(
+                c["grid"], c["a_block"], c["logits"]
+            )
+            c["counter"].add(6 * c["a_block"].nnz, "softmax")
+            return values
+
+        return CommSchedule([
+            Compute("hp_col", lambda c: mm(
+                c["h_block"], self.weight, counter=c["counter"])),
+            Transfer("hp_row", "row_bcast", "hp_col", phase="psi"),
+            # The destination scores only need the local block — they
+            # overlap the broadcast of the source-side block.
+            Compute("v", lambda c: c["hp_col"] @ self.a_dst),
+            Compute("u", u, needs=("hp_row",)),
+            Compute("raw_values", lambda c: sddmm_add(
+                c["a_block"], c["u"], c["v"], counter=c["counter"])),
+            Compute("logits", lambda c: leaky_relu(
+                c["raw_values"], self.slope)),
+            Compute("soft", soft, phase="softmax"),
+            Compute("s_block", lambda c: c["a_block"].with_data(c["soft"])),
+            Compute("partial", lambda c: spmm(
+                c["s_block"], c["hp_col"], counter=c["counter"])),
+            Transfer("z_block", "redistribute", "partial",
+                     phase="redistribute"),
+        ], name="gat.forward")
+
+    def _backward_schedule(self, need_input_grad: bool) -> CommSchedule:
+        def draw(c):
+            result = c["dlogits"] * leaky_relu_grad(
+                c["raw_values"], self.slope
+            )
+            c["counter"].add(4 * c["a_block"].nnz, "gat_vjp")
+            return result
 
         # Attention-vector gradients: contribute each complete block
         # exactly once (grid column 0 / grid row 0 / diagonal), then sum.
-        da_src_local = (
-            cache.hp_row.T @ du if grid.col == 0
-            else np.zeros_like(self.a_src, dtype=du.dtype)
-        )
-        da_dst_local = (
-            cache.hp_col.T @ dv if grid.row == 0
-            else np.zeros_like(self.a_dst, dtype=dv.dtype)
-        )
-        da_src = grid.comm.allreduce(da_src_local)
-        da_dst = grid.comm.allreduce(da_dst_local)
+        def da_src_local(c):
+            if c["grid"].col == 0:
+                return c["hp_row"].T @ c["du"]
+            return np.zeros_like(self.a_src, dtype=c["du"].dtype)
 
-        stg_partial = spmm(cache.s_block.transpose(), g_row, counter=counter)
-        col_partial = stg_partial + (
-            np.outer(dv, self.a_dst) if grid.row == 0
-            else np.zeros_like(stg_partial)
-        )
-        col_term = grid.col_comm.allreduce(col_partial)  # dHp via col terms
-        row_term = np.outer(du, self.a_src)              # complete locally
+        def da_dst_local(c):
+            if c["grid"].row == 0:
+                return c["hp_col"].T @ c["dv"]
+            return np.zeros_like(self.a_dst, dtype=c["dv"].dtype)
+
+        def col_partial(c):
+            return c["stg_partial"] + (
+                np.outer(c["dv"], self.a_dst) if c["grid"].row == 0
+                else np.zeros_like(c["stg_partial"])
+            )
 
         # Weight gradient dW = H^T dH' assembled from single-count parts.
-        dw_local = mm(cache.h_block.T, stg_partial, counter=counter)
-        if grid.row == 0:
-            dw_local = dw_local + cache.h_block.T @ np.outer(dv, self.a_dst)
-        if grid.row == grid.col:
-            dw_local = dw_local + cache.h_block.T @ np.outer(du, self.a_src)
-        d_weight = grid.comm.allreduce(dw_local)
+        def dw_local(c):
+            grid = c["grid"]
+            dw = mm(c["h_block"].T, c["stg_partial"], counter=c["counter"])
+            if grid.row == 0:
+                dw = dw + c["h_block"].T @ np.outer(c["dv"], self.a_dst)
+            if grid.row == grid.col:
+                dw = dw + c["h_block"].T @ np.outer(c["du"], self.a_src)
+            return dw
 
-        grads = {"weight": d_weight, "a_src": da_src, "a_dst": da_dst}
-        if not need_input_grad:
-            return None, grads
-        dhp = _assemble_gamma(grid, sequencer, row_term, col_term)
-        gamma = mm(dhp, self.weight.T, counter=counter)
-        return gamma, grads
+        steps: list[Compute | Transfer] = [
+            Transfer("g_row", "row_bcast", "g_block", phase="backward"),
+            Compute("ds", lambda c: sddmm_dot(
+                c["a_block"], c["g_row"], c["hp_col"], counter=c["counter"]
+            ), needs=("g_row",)),
+            Compute("dlogits", lambda c: distributed_row_softmax_backward(
+                c["grid"], c["a_block"], c["s_block"].data, c["ds"]
+            ), phase="backward"),
+            Compute("draw", draw),
+            Compute("du_local", lambda c: segment_sum(
+                c["draw"], c["a_block"].indptr)),
+            Transfer("du", "row_allreduce", "du_local", phase="backward"),
+            Compute("dv_local", lambda c: bincount_sum(
+                c["a_block"].indices, c["draw"], c["a_block"].shape[1])),
+            Transfer("dv", "col_allreduce", "dv_local", phase="backward"),
+            # S^T G reads neither du nor dv — it runs under both
+            # score-gradient allreduces.
+            Compute("stg_partial", lambda c: spmm(
+                c["s_block"].transpose(), c["g_row"], counter=c["counter"])),
+            Compute("da_src_local", da_src_local, needs=("du",)),
+            Transfer("da_src", "allreduce", "da_src_local",
+                     phase="backward"),
+            Compute("da_dst_local", da_dst_local, needs=("dv",)),
+            Transfer("da_dst", "allreduce", "da_dst_local",
+                     phase="backward"),
+            Compute("col_partial", col_partial),
+            Transfer("col_term", "col_allreduce", "col_partial",
+                     phase="backward"),  # dHp via col terms
+            Compute("row_term", lambda c: np.outer(
+                c["du"], self.a_src)),  # complete locally
+            Compute("dw_local", dw_local),
+            Transfer("d_weight", "allreduce", "dw_local", phase="backward"),
+        ]
+        if need_input_grad:
+            steps += [
+                Transfer("row_t", "transpose", "row_term",
+                         phase="backward"),
+                Compute("dhp", lambda c: c["col_term"] + c["row_t"],
+                        needs=("col_term", "row_t")),
+                Compute("gamma", lambda c: mm(
+                    c["dhp"], self.weight.T, counter=c["counter"])),
+            ]
+        return CommSchedule(steps, name="gat.backward")
+
+    def _collect_grads(self, ctx):
+        return {
+            "weight": ctx["d_weight"],
+            "a_src": ctx["da_src"],
+            "a_dst": ctx["da_dst"],
+        }
 
     def parameters(self):
         return {"weight": self.weight, "a_src": self.a_src, "a_dst": self.a_dst}
@@ -481,14 +612,6 @@ class DistGATLayer(DistGnnLayer):
 # ----------------------------------------------------------------------
 # GCN (C-GNN special case)
 # ----------------------------------------------------------------------
-@dataclass
-class _DistGCNCache:
-    a_block: CSRMatrix
-    h_block: np.ndarray
-    hp: np.ndarray
-    z_block: np.ndarray
-
-
 class DistGCNLayer(DistGnnLayer):
     """Distributed GCN layer: pure SpMM + MM, no attention traffic.
 
@@ -496,6 +619,8 @@ class DistGCNLayer(DistGnnLayer):
     One inference layer costs exactly one broadcast-free SpMM plus the
     reduce+redistribute — the minimal-communication case of Section 8.4.
     """
+
+    forward_cache_keys = ("hp",)
 
     def __init__(
         self,
@@ -510,57 +635,45 @@ class DistGCNLayer(DistGnnLayer):
         self.in_dim = in_dim
         self.out_dim = out_dim
 
-    def forward(self, grid, a_block, h_block, sequencer,
-                counter=null_counter(), training=True):
-        hp, z_block = _project_aggregate_redistribute(
-            grid, a_block, h_block, self.weight, sequencer, counter
-        )
-        h_next = self.activation.fn(z_block)
-        if not training:
-            return h_next, None
-        return h_next, _DistGCNCache(
-            a_block=a_block, h_block=h_block, hp=hp, z_block=z_block
-        )
+    def _forward_schedule(self) -> CommSchedule:
+        return CommSchedule([
+            Compute("hp", lambda c: mm(
+                c["h_block"], self.weight, counter=c["counter"])),
+            Compute("partial", lambda c: spmm(
+                c["a_block"], c["hp"], counter=c["counter"])),
+            Transfer("z_block", "redistribute", "partial",
+                     phase="redistribute"),
+        ], name="gcn.forward")
 
-    def backward(self, grid, cache, g_block, sequencer,
-                 counter=null_counter(), need_input_grad=True):
-        grid.comm.stats.set_phase("backward")
-        _, stg_partial, d_weight = _backward_entry(
-            grid, cache.a_block, cache.h_block, g_block, counter
-        )
-        if not need_input_grad:
-            return None, {"weight": d_weight}
-        col_term = grid.col_comm.allreduce(
-            mm(stg_partial, self.weight.T, counter=counter)
-        )
-        return col_term, {"weight": d_weight}
+    def _backward_schedule(self, need_input_grad: bool) -> CommSchedule:
+        steps: list[Compute | Transfer] = [
+            Transfer("g_row", "row_bcast", "g_block", phase="backward"),
+            Compute("stg_partial", lambda c: spmm(
+                c["a_block"].transpose(), c["g_row"], counter=c["counter"]
+            ), needs=("g_row",)),
+            Compute("dw_local", lambda c: mm(
+                c["h_block"].T, c["stg_partial"], counter=c["counter"])),
+            Transfer("d_weight", "allreduce", "dw_local", phase="backward"),
+        ]
+        if need_input_grad:
+            steps += [
+                Compute("gamma_local", lambda c: mm(
+                    c["stg_partial"], self.weight.T, counter=c["counter"])),
+                Transfer("gamma", "col_allreduce", "gamma_local",
+                         phase="backward"),
+            ]
+        return CommSchedule(steps, name="gcn.backward")
+
+    def _collect_grads(self, ctx):
+        return {"weight": ctx["d_weight"]}
 
     def parameters(self):
         return {"weight": self.weight}
 
 
-
-
 # ----------------------------------------------------------------------
 # Multi-head GAT (extension, mirrors models.gat.MultiHeadGATLayer)
 # ----------------------------------------------------------------------
-@dataclass
-class _DistMultiHeadCache:
-    caches: list
-    z_block: np.ndarray
-
-
-@dataclass
-class _DistBatchedMultiHeadCache:
-    a_block: CSRMatrix
-    h_block: np.ndarray
-    hp_col: np.ndarray
-    hp_row: np.ndarray
-    s_block: CSRMatrix
-    raw_values: np.ndarray
-    z_block: np.ndarray
-
-
 class DistMultiHeadGATLayer(DistGnnLayer):
     """Distributed multi-head GAT on the 1.5D schedule.
 
@@ -579,6 +692,8 @@ class DistMultiHeadGATLayer(DistGnnLayer):
     single-node :class:`~repro.models.gat.MultiHeadGATLayer` given the
     same seeds — the equivalence tests assert this.
     """
+
+    forward_cache_keys = ("hp_col", "hp_row", "s_block", "raw_values")
 
     def __init__(
         self,
@@ -626,17 +741,19 @@ class DistMultiHeadGATLayer(DistGnnLayer):
             self.in_dim, self.num_heads * self.head_dim
         )
 
+    # ------------------------------------------------------------------
     def forward(self, grid, a_block, h_block, sequencer,
-                counter=null_counter(), training=True):
+                counter=null_counter(), training=True, overlap=None):
         if self.batched:
-            return self._forward_batched(
-                grid, a_block, h_block, sequencer, counter, training
+            return super().forward(
+                grid, a_block, h_block, sequencer,
+                counter=counter, training=training, overlap=overlap,
             )
         outputs, caches = [], []
         for head in self.heads:
             out, cache = head.forward(
                 grid, a_block, h_block, sequencer,
-                counter=counter, training=training,
+                counter=counter, training=training, overlap=overlap,
             )
             outputs.append(out)
             caches.append(cache)
@@ -647,53 +764,15 @@ class DistMultiHeadGATLayer(DistGnnLayer):
         h_next = self.activation.fn(z_block)
         if not training:
             return h_next, None
-        return h_next, _DistMultiHeadCache(caches=caches, z_block=z_block)
-
-    def _forward_batched(self, grid, a_block, h_block, sequencer,
-                         counter, training):
-        heads, d = self.num_heads, self.head_dim
-        b = h_block.shape[0]
-        grid.comm.stats.set_phase("psi")
-        hp_col_flat = mm(h_block, self._stacked_weight(), counter=counter)
-        # ONE row broadcast carries every head's projected block.
-        hp_row_flat = row_bcast_from_diagonal(grid, hp_col_flat)
-        hp_col = hp_col_flat.reshape(b, heads, d)
-        hp_row = hp_row_flat.reshape(-1, heads, d)
-        u = np.einsum("nhd,hd->nh", hp_row, self._a_src_mat)
-        v = np.einsum("nhd,hd->nh", hp_col, self._a_dst_mat)
-        counter.add(4 * hp_col.size, "gat_uv")
-        raw = sddmm_add(a_block, u, v, counter=counter)
-        logits = leaky_relu(raw, self.slope)
-        grid.comm.stats.set_phase("softmax")
-        # Stacked (nnz, heads) logits: one distributed softmax (two
-        # feature-free allreduces) normalises all heads.
-        soft = distributed_row_softmax(grid, a_block, logits)
-        counter.add(6 * raw.size, "softmax")
-        s_block = a_block.with_data(soft)
-        grid.comm.stats.set_phase("aggregate")
-        partial = spmm(s_block, hp_col, counter=counter)
-        grid.comm.stats.set_phase("redistribute")
-        # ONE reduce+redistribute of the flat (b, heads*d) partials.
-        z_flat = reduce_and_redistribute(
-            grid, partial.reshape(-1, heads * d), sequencer
-        )
-        if self.combine == "concat":
-            z_block = z_flat
-        else:
-            z_block = z_flat.reshape(-1, heads, d).mean(axis=1)
-        h_next = self.activation.fn(z_block)
-        if not training:
-            return h_next, None
-        return h_next, _DistBatchedMultiHeadCache(
-            a_block=a_block, h_block=h_block, hp_col=hp_col, hp_row=hp_row,
-            s_block=s_block, raw_values=raw, z_block=z_block,
-        )
+        return h_next, _DistLayerCache(caches=caches, z_block=z_block)
 
     def backward(self, grid, cache, g_block, sequencer,
-                 counter=null_counter(), need_input_grad=True):
-        if isinstance(cache, _DistBatchedMultiHeadCache):
-            return self._backward_batched(
-                grid, cache, g_block, sequencer, counter, need_input_grad
+                 counter=null_counter(), need_input_grad=True, overlap=None):
+        if cache.caches is None:
+            return super().backward(
+                grid, cache, g_block, sequencer,
+                counter=counter, need_input_grad=need_input_grad,
+                overlap=overlap,
             )
         n_heads = len(self.heads)
         if self.combine == "concat":
@@ -712,6 +791,7 @@ class DistMultiHeadGATLayer(DistGnnLayer):
             head_gamma, head_param_grads = head.backward(
                 grid, head_cache, head_g, sequencer,
                 counter=counter, need_input_grad=need_input_grad,
+                overlap=overlap,
             )
             if need_input_grad:
                 gamma = head_gamma if gamma is None else gamma + head_gamma
@@ -719,85 +799,170 @@ class DistMultiHeadGATLayer(DistGnnLayer):
                 grads[f"head{index}.{name}"] = value
         return gamma, grads
 
-    def _backward_batched(self, grid, cache, g_block, sequencer,
-                          counter, need_input_grad):
+    # ------------------------------------------------------------------
+    def _forward_schedule(self) -> CommSchedule:
         heads, d = self.num_heads, self.head_dim
-        a_block = cache.a_block
-        b = g_block.shape[0]
-        grid.comm.stats.set_phase("backward")
-        if self.combine == "concat":
-            g_flat = np.ascontiguousarray(g_block)
-        else:
+
+        def u(c):
+            result = np.einsum("nhd,hd->nh", c["hp_row"], self._a_src_mat)
+            c["counter"].add(4 * c["hp_col"].size, "gat_uv")
+            return result
+
+        def soft(c):
+            # Stacked (nnz, heads) logits: one distributed softmax (two
+            # feature-free allreduces) normalises all heads.
+            values = distributed_row_softmax(
+                c["grid"], c["a_block"], c["logits"]
+            )
+            c["counter"].add(6 * c["raw_values"].size, "softmax")
+            return values
+
+        def z_block(c):
+            if self.combine == "concat":
+                return c["z_flat"]
+            return c["z_flat"].reshape(-1, heads, d).mean(axis=1)
+
+        return CommSchedule([
+            Compute("hp_col_flat", lambda c: mm(
+                c["h_block"], self._stacked_weight(), counter=c["counter"])),
+            # ONE row broadcast carries every head's projected block.
+            Transfer("hp_row_flat", "row_bcast", "hp_col_flat", phase="psi"),
+            Compute("hp_col", lambda c: c["hp_col_flat"].reshape(
+                -1, heads, d)),
+            Compute("v", lambda c: np.einsum(
+                "nhd,hd->nh", c["hp_col"], self._a_dst_mat)),
+            Compute("hp_row", lambda c: c["hp_row_flat"].reshape(
+                -1, heads, d), needs=("hp_row_flat",)),
+            Compute("u", u),
+            Compute("raw_values", lambda c: sddmm_add(
+                c["a_block"], c["u"], c["v"], counter=c["counter"])),
+            Compute("logits", lambda c: leaky_relu(
+                c["raw_values"], self.slope)),
+            Compute("soft", soft, phase="softmax"),
+            Compute("s_block", lambda c: c["a_block"].with_data(c["soft"])),
+            # ONE reduce+redistribute of the flat (b, heads*d) partials.
+            Compute("partial", lambda c: spmm(
+                c["s_block"], c["hp_col"], counter=c["counter"]
+            ).reshape(-1, heads * d)),
+            Transfer("z_flat", "redistribute", "partial",
+                     phase="redistribute"),
+            Compute("z_block", z_block),
+        ], name="mh_gat.forward")
+
+    def _backward_schedule(self, need_input_grad: bool) -> CommSchedule:
+        heads, d = self.num_heads, self.head_dim
+
+        def g_flat(c):
+            if self.combine == "concat":
+                return np.ascontiguousarray(c["g_block"])
             # Mean combine: each head sees dL/dZ_h = g / heads.
-            g_flat = np.ascontiguousarray(
+            b = c["g_block"].shape[0]
+            return np.ascontiguousarray(
                 np.broadcast_to(
-                    (g_block / heads)[:, None, :], (b, heads, d)
+                    (c["g_block"] / heads)[:, None, :], (b, heads, d)
                 ).reshape(b, heads * d)
             )
-        # ONE row broadcast of the stacked output gradient.
-        g_row = row_bcast_from_diagonal(grid, g_flat).reshape(-1, heads, d)
-        ds = sddmm_dot(a_block, g_row, cache.hp_col, counter=counter)
-        dlogits = distributed_row_softmax_backward(
-            grid, a_block, cache.s_block.data, ds
-        )
-        draw = dlogits * leaky_relu_grad(cache.raw_values, self.slope)
-        du = grid.row_comm.allreduce(segment_sum(draw, a_block.indptr))
-        dv = grid.col_comm.allreduce(
-            bincount_sum(a_block.indices, draw, a_block.shape[1])
-        )
-        counter.add(4 * draw.size, "gat_vjp")
+
+        def draw(c):
+            result = c["dlogits"] * leaky_relu_grad(
+                c["raw_values"], self.slope
+            )
+            c["counter"].add(4 * result.size, "gat_vjp")
+            return result
 
         # Attention-vector gradients: single-count blocks, then sum —
         # one allreduce carries all heads' (heads, d) gradients.
-        da_src_local = (
-            np.einsum("nhd,nh->hd", cache.hp_row, du) if grid.col == 0
-            else np.zeros_like(self._a_src_mat, dtype=du.dtype)
-        )
-        da_dst_local = (
-            np.einsum("nhd,nh->hd", cache.hp_col, dv) if grid.row == 0
-            else np.zeros_like(self._a_dst_mat, dtype=dv.dtype)
-        )
-        da_src = grid.comm.allreduce(da_src_local)
-        da_dst = grid.comm.allreduce(da_dst_local)
+        def da_src_local(c):
+            if c["grid"].col == 0:
+                return np.einsum("nhd,nh->hd", c["hp_row"], c["du"])
+            return np.zeros_like(self._a_src_mat, dtype=c["du"].dtype)
 
-        stg_flat = spmm(
-            cache.s_block.transpose(), g_row, counter=counter
-        ).reshape(-1, heads * d)
-        # Per-head rank-1 updates, stacked flat: outer(dv_h, a_dst_h)
-        # becomes one (b, heads*d) array.
-        dst_rank1 = (dv[:, :, None] * self._a_dst_mat[None]).reshape(
-            -1, heads * d
-        )
-        src_rank1 = (du[:, :, None] * self._a_src_mat[None]).reshape(
-            -1, heads * d
-        )
-        col_partial = stg_flat + (
-            dst_rank1 if grid.row == 0 else np.zeros_like(stg_flat)
-        )
-        # ONE allreduce of the stacked column terms.
-        col_term = grid.col_comm.allreduce(col_partial)
-        row_term = src_rank1  # complete locally
+        def da_dst_local(c):
+            if c["grid"].row == 0:
+                return np.einsum("nhd,nh->hd", c["hp_col"], c["dv"])
+            return np.zeros_like(self._a_dst_mat, dtype=c["dv"].dtype)
+
+        def col_partial(c):
+            return c["stg_flat"] + (
+                c["dst_rank1"] if c["grid"].row == 0
+                else np.zeros_like(c["stg_flat"])
+            )
 
         # Weight gradient dW = H^T dH' from single-count parts; one
         # (in, heads*d) allreduce replaces `heads` separate ones.
-        dw_local = mm(cache.h_block.T, stg_flat, counter=counter)
-        if grid.row == 0:
-            dw_local = dw_local + cache.h_block.T @ dst_rank1
-        if grid.row == grid.col:
-            dw_local = dw_local + cache.h_block.T @ src_rank1
-        d_weight = grid.comm.allreduce(dw_local)
+        def dw_local(c):
+            grid = c["grid"]
+            dw = mm(c["h_block"].T, c["stg_flat"], counter=c["counter"])
+            if grid.row == 0:
+                dw = dw + c["h_block"].T @ c["dst_rank1"]
+            if grid.row == grid.col:
+                dw = dw + c["h_block"].T @ c["src_rank1"]
+            return dw
 
+        steps: list[Compute | Transfer] = [
+            Compute("g_flat", g_flat),
+            # ONE row broadcast of the stacked output gradient.
+            Transfer("g_row_flat", "row_bcast", "g_flat", phase="backward"),
+            Compute("g_row", lambda c: c["g_row_flat"].reshape(
+                -1, heads, d), needs=("g_row_flat",)),
+            Compute("ds", lambda c: sddmm_dot(
+                c["a_block"], c["g_row"], c["hp_col"], counter=c["counter"])),
+            Compute("dlogits", lambda c: distributed_row_softmax_backward(
+                c["grid"], c["a_block"], c["s_block"].data, c["ds"]
+            ), phase="backward"),
+            Compute("draw", draw),
+            Compute("du_local", lambda c: segment_sum(
+                c["draw"], c["a_block"].indptr)),
+            Transfer("du", "row_allreduce", "du_local", phase="backward"),
+            Compute("dv_local", lambda c: bincount_sum(
+                c["a_block"].indices, c["draw"], c["a_block"].shape[1])),
+            Transfer("dv", "col_allreduce", "dv_local", phase="backward"),
+            Compute("stg_flat", lambda c: spmm(
+                c["s_block"].transpose(), c["g_row"], counter=c["counter"]
+            ).reshape(-1, heads * d)),
+            Compute("da_src_local", da_src_local, needs=("du",)),
+            Transfer("da_src", "allreduce", "da_src_local",
+                     phase="backward"),
+            Compute("da_dst_local", da_dst_local, needs=("dv",)),
+            Transfer("da_dst", "allreduce", "da_dst_local",
+                     phase="backward"),
+            # Per-head rank-1 updates, stacked flat: outer(dv_h, a_dst_h)
+            # becomes one (b, heads*d) array.
+            Compute("dst_rank1", lambda c: (
+                c["dv"][:, :, None] * self._a_dst_mat[None]
+            ).reshape(-1, heads * d)),
+            Compute("src_rank1", lambda c: (
+                c["du"][:, :, None] * self._a_src_mat[None]
+            ).reshape(-1, heads * d)),
+            Compute("col_partial", col_partial),
+            # ONE allreduce of the stacked column terms.
+            Transfer("col_term", "col_allreduce", "col_partial",
+                     phase="backward"),
+            Compute("dw_local", dw_local),
+            Transfer("d_weight", "allreduce", "dw_local", phase="backward"),
+        ]
+        if need_input_grad:
+            steps += [
+                # ONE transpose exchange of the stacked row terms
+                # (src_rank1 is complete locally).
+                Transfer("row_t", "transpose", "src_rank1",
+                         phase="backward"),
+                Compute("dhp_flat", lambda c: c["col_term"] + c["row_t"],
+                        needs=("col_term", "row_t")),
+                Compute("gamma", lambda c: mm(
+                    c["dhp_flat"], self._stacked_weight().T,
+                    counter=c["counter"])),
+            ]
+        return CommSchedule(steps, name="mh_gat.backward")
+
+    def _collect_grads(self, ctx):
+        d = self.head_dim
         grads: dict[str, np.ndarray] = {}
-        for i in range(heads):
-            grads[f"head{i}.weight"] = d_weight[:, i * d : (i + 1) * d]
-            grads[f"head{i}.a_src"] = da_src[i]
-            grads[f"head{i}.a_dst"] = da_dst[i]
-        if not need_input_grad:
-            return None, grads
-        # ONE transpose exchange of the stacked row terms.
-        dhp_flat = col_term + transpose_exchange(grid, row_term, sequencer)
-        gamma = mm(dhp_flat, self._stacked_weight().T, counter=counter)
-        return gamma, grads
+        for i in range(self.num_heads):
+            grads[f"head{i}.weight"] = ctx["d_weight"][:, i * d: (i + 1) * d]
+            grads[f"head{i}.a_src"] = ctx["da_src"][i]
+            grads[f"head{i}.a_dst"] = ctx["da_dst"][i]
+        return grads
 
     def parameters(self):
         params: dict[str, np.ndarray] = {}

@@ -46,12 +46,19 @@ class DistGnnModel:
     rank guarantee replicated parameters.
     """
 
-    def __init__(self, grid: ProcessGrid, layers: Sequence[DistGnnLayer]) -> None:
+    def __init__(
+        self,
+        grid: ProcessGrid,
+        layers: Sequence[DistGnnLayer],
+        overlap: bool | None = None,
+    ) -> None:
         if not layers:
             raise ValueError("a model needs at least one layer")
         self.grid = grid
         self.layers = list(layers)
         self.sequencer = OpSequencer()
+        # None defers to REPRO_OVERLAP at each layer call.
+        self.overlap = overlap
         self._caches: list[Any] | None = None
 
     @property
@@ -71,7 +78,7 @@ class DistGnnModel:
         for layer in self.layers:
             h_block, cache = layer.forward(
                 self.grid, a_block, h_block, self.sequencer,
-                counter=counter, training=training,
+                counter=counter, training=training, overlap=self.overlap,
             )
             caches.append(cache)
         self._caches = caches if training else None
@@ -101,6 +108,7 @@ class DistGnnModel:
             gamma, grads[index] = layer.backward(
                 self.grid, cache, g_block, self.sequencer,
                 counter=counter, need_input_grad=index > 0,
+                overlap=self.overlap,
             )
         return grads
 
@@ -129,6 +137,7 @@ def build_dist_model(
     activation: str | None = None,
     seed: int = 0,
     dtype: np.dtype | type = np.float32,
+    overlap: bool | None = None,
     **layer_kwargs,
 ) -> DistGnnModel:
     """Construct a distributed model by name (VA / AGNN / GAT / GCN).
@@ -136,6 +145,9 @@ def build_dist_model(
     Mirrors :func:`repro.models.build_model` — same dims, same seeds,
     same activations — so the two produce numerically identical results
     given the same inputs, which the equivalence tests rely on.
+    ``overlap`` selects comm/compute-overlapped layer execution
+    (``None`` defers to ``REPRO_OVERLAP``); results and traffic are
+    bit-identical either way.
     """
     layer_cls = {
         "va": DistVALayer,
@@ -174,7 +186,7 @@ def build_dist_model(
                 )
             )
             current = hidden_dim * heads if not last else out_dim
-        return DistGnnModel(grid, layers)
+        return DistGnnModel(grid, layers, overlap=overlap)
     dims = [in_dim] + [hidden_dim] * (num_layers - 1) + [out_dim]
     layers = [
         layer_cls(
@@ -187,4 +199,4 @@ def build_dist_model(
         )
         for i in range(num_layers)
     ]
-    return DistGnnModel(grid, layers)
+    return DistGnnModel(grid, layers, overlap=overlap)

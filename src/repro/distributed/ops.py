@@ -32,13 +32,39 @@ from repro.tensor.segment import expand_segments, segment_max, segment_sum
 
 __all__ = [
     "row_bcast_from_diagonal",
+    "irow_bcast_from_diagonal",
     "reduce_and_redistribute",
     "transpose_exchange",
+    "itranspose_exchange",
     "distributed_row_softmax",
     "distributed_row_softmax_backward",
     "distributed_semiring_aggregate",
     "OpSequencer",
+    "ReadyResult",
 ]
+
+
+class ReadyResult:
+    """Handle-shaped wrapper around an already-available value.
+
+    Lets schedule code treat local no-op "transfers" (diagonal ranks in
+    a transpose, 1x1 grids) uniformly with real completion handles.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value) -> None:
+        self._value = value
+
+    @property
+    def done(self) -> bool:
+        return True
+
+    def test(self) -> bool:
+        return True
+
+    def wait(self):
+        return self._value
 
 
 class OpSequencer:
@@ -68,6 +94,17 @@ def row_bcast_from_diagonal(
     """
     root = grid.row  # local rank within row_comm whose col == row.
     return grid.row_comm.bcast(block, root=root)
+
+
+def irow_bcast_from_diagonal(grid: ProcessGrid, block: np.ndarray | None):
+    """Non-blocking :func:`row_bcast_from_diagonal`.
+
+    Returns a :class:`~repro.runtime.communicator.CollectiveHandle`;
+    the diagonal rank's sends go out immediately, so local compute
+    issued before ``wait()`` runs while :math:`H_i` is in flight.
+    """
+    root = grid.row
+    return grid.row_comm.ibcast(block, root=root)
 
 
 def reduce_and_redistribute(
@@ -129,6 +166,26 @@ def transpose_exchange(
     partner = grid.col * grid.py + grid.row
     grid.comm.send(block, partner, tag=tag)
     return grid.comm.recv(partner, tag=tag)
+
+
+def itranspose_exchange(
+    grid: ProcessGrid,
+    block: np.ndarray,
+    sequencer: OpSequencer,
+):
+    """Non-blocking :func:`transpose_exchange`.
+
+    The outgoing block is posted immediately (sends are buffered); the
+    returned handle's ``wait()`` collects the partner's block, keeping
+    any outstanding collectives progressing meanwhile. The sequencer
+    advances on every rank, identically to the blocking form.
+    """
+    tag = ("transpose", sequencer.next())
+    if grid.row == grid.col:
+        return ReadyResult(block)
+    partner = grid.col * grid.py + grid.row
+    grid.comm.isend(block, partner, tag=tag)
+    return grid.comm.irecv(partner, tag=tag)
 
 
 def distributed_semiring_aggregate(

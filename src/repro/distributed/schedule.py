@@ -1,0 +1,228 @@
+"""Declarative per-layer communication schedules for the 1.5D layers.
+
+Every distributed layer's forward and backward pass is a short,
+straight-line program over two kinds of steps:
+
+* :class:`Compute` — a local kernel over named context entries;
+* :class:`Transfer` — one of the grid communication patterns
+  (diagonal row broadcast, row/column/world allreduce, transpose
+  exchange, reduce+redistribute), labelled with its traffic phase.
+
+Instead of interleaving communicator calls and math by hand in five
+near-identical layer bodies, each layer *declares* its steps and a
+shared scheduler (:meth:`CommSchedule.run`) executes them against a
+context dict. The scheduler has two execution modes with bit-identical
+results and identical traffic:
+
+**Synchronous** (the parity oracle): every transfer blocks in program
+order — exactly the pre-refactor behaviour, byte for byte.
+
+**Overlapped** (``REPRO_OVERLAP=1`` or ``overlap=True``): transfers
+with an asynchronous form are *initiated* at their program point but
+completed only when a later step first names their output — so the
+local compute scheduled between a transfer and its first consumer (the
+SDDMM under the H-block broadcast, the gamma assembly under the
+weight-gradient allreduces) runs while the wire is busy. Initiation
+order is identical to the synchronous mode and resolution points are
+the same SPMD program points on every rank, which together with the
+communicator's ordered-completion engine makes overlap deadlock-free
+by construction.
+
+Traffic parity holds because overlap changes only *when a rank blocks*,
+never what it sends: the same collective generators run either way,
+and phase labels are captured at initiation, so ``CommStats.by_phase``
+and ``comm_words`` are equal in both modes (pinned by tests).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.distributed.ops import (
+    OpSequencer,
+    irow_bcast_from_diagonal,
+    itranspose_exchange,
+    reduce_and_redistribute,
+    row_bcast_from_diagonal,
+    transpose_exchange,
+)
+from repro.runtime.grid import ProcessGrid
+
+__all__ = [
+    "Compute",
+    "Transfer",
+    "CommSchedule",
+    "overlap_default",
+    "OVERLAP_ENV_VAR",
+]
+
+#: Environment variable selecting overlapped execution by default.
+OVERLAP_ENV_VAR = "REPRO_OVERLAP"
+
+_TRUE_VALUES = frozenset({"1", "true", "yes", "on"})
+_FALSE_VALUES = frozenset({"", "0", "false", "no", "off"})
+
+
+def overlap_default() -> bool:
+    """Resolve the process-wide overlap default from ``REPRO_OVERLAP``."""
+    raw = os.environ.get(OVERLAP_ENV_VAR, "")
+    value = raw.strip().lower()
+    if value in _TRUE_VALUES:
+        return True
+    if value in _FALSE_VALUES:
+        return False
+    raise ValueError(
+        f"{OVERLAP_ENV_VAR} must be one of "
+        f"{sorted(_TRUE_VALUES | _FALSE_VALUES)!r}, got {raw!r}"
+    )
+
+
+@dataclass(frozen=True)
+class Compute:
+    """A local kernel: ``ctx[out] = fn(ctx)``.
+
+    ``needs`` lists the context keys the kernel reads that may still be
+    in flight — the scheduler resolves those transfers first. ``out``
+    may be ``None`` for effect-only steps (e.g. writing several keys).
+    ``phase`` labels traffic for kernels that communicate internally
+    (the distributed softmax and its backward run feature-free
+    allreduces); plain local kernels leave it ``None``.
+    """
+
+    out: str | None
+    fn: Callable[[dict[str, Any]], Any]
+    needs: tuple[str, ...] = ()
+    phase: str | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Compute({self.out!r}, needs={self.needs!r})"
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """A grid communication pattern: ``ctx[out] = kind(ctx[src])``.
+
+    ``kind`` is one of:
+
+    ``"row_bcast"``
+        Diagonal row broadcast of ``src`` (async form: ``ibcast``).
+    ``"row_allreduce"`` / ``"col_allreduce"`` / ``"allreduce"``
+        Allreduce of ``src`` over the row / column / world
+        communicator with ``op`` (async form: ``iallreduce``).
+    ``"transpose"``
+        Pairwise ``(i, j) <-> (j, i)`` exchange (async form: deferred
+        receive; the send is always posted at the program point).
+    ``"redistribute"``
+        Ring reduce-scatter + chunk exchange. Always synchronous: it is
+        the terminal transfer of a pass, so there is no later compute
+        to hide it behind, and its internal collective is itself a
+        blocking rendezvous of the whole grid row.
+
+    ``phase`` labels the traffic for ``CommStats.by_phase``; it is set
+    at initiation so synchronous and overlapped runs attribute bytes
+    and wait time identically.
+    """
+
+    out: str
+    kind: str
+    src: str
+    phase: str
+    op: str = "sum"
+    needs: tuple[str, ...] = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Transfer({self.out!r} <- {self.kind} {self.src!r})"
+
+
+#: Transfer kinds with an asynchronous (handle-returning) form.
+_ASYNC_KINDS = frozenset({
+    "row_bcast", "row_allreduce", "col_allreduce", "allreduce", "transpose",
+})
+
+
+@dataclass
+class CommSchedule:
+    """An ordered step list executed by the shared scheduler."""
+
+    steps: list[Compute | Transfer] = field(default_factory=list)
+    name: str = ""
+
+    def run(
+        self,
+        grid: ProcessGrid,
+        sequencer: OpSequencer,
+        ctx: dict[str, Any],
+        overlap: bool = False,
+    ) -> dict[str, Any]:
+        """Execute the steps against ``ctx`` (mutated and returned).
+
+        In overlap mode, async-capable transfers leave a completion
+        handle in flight; the handle is resolved when a later step
+        first lists its output in ``needs`` (or ``src``), and any
+        transfer nothing consumed is resolved at the end, in initiation
+        order.
+        """
+        pending: dict[str, Any] = {}
+
+        def resolve(key: str) -> None:
+            handle = pending.pop(key, None)
+            if handle is not None:
+                ctx[key] = handle.wait()
+
+        for step in self.steps:
+            if isinstance(step, Transfer):
+                for key in (*step.needs, step.src):
+                    resolve(key)
+                value_or_handle = self._execute_transfer(
+                    step, grid, sequencer, ctx, overlap
+                )
+                if overlap and step.kind in _ASYNC_KINDS:
+                    pending[step.out] = value_or_handle
+                else:
+                    ctx[step.out] = value_or_handle
+            else:
+                for key in step.needs:
+                    resolve(key)
+                if step.phase is not None:
+                    grid.comm.stats.set_phase(step.phase)
+                result = step.fn(ctx)
+                if step.out is not None:
+                    ctx[step.out] = result
+        for key in list(pending):
+            resolve(key)
+        return ctx
+
+    def _execute_transfer(
+        self,
+        step: Transfer,
+        grid: ProcessGrid,
+        sequencer: OpSequencer,
+        ctx: dict[str, Any],
+        overlap: bool,
+    ) -> Any:
+        """Initiate one transfer; returns a value (sync) or handle."""
+        grid.comm.stats.set_phase(step.phase)
+        payload = ctx[step.src]
+        kind = step.kind
+        if kind == "row_bcast":
+            if overlap:
+                return irow_bcast_from_diagonal(grid, payload)
+            return row_bcast_from_diagonal(grid, payload)
+        if kind in ("row_allreduce", "col_allreduce", "allreduce"):
+            comm = {
+                "row_allreduce": grid.row_comm,
+                "col_allreduce": grid.col_comm,
+                "allreduce": grid.comm,
+            }[kind]
+            if overlap:
+                return comm.iallreduce(payload, op=step.op)
+            return comm.allreduce(payload, op=step.op)
+        if kind == "transpose":
+            if overlap:
+                return itranspose_exchange(grid, payload, sequencer)
+            return transpose_exchange(grid, payload, sequencer)
+        if kind == "redistribute":
+            return reduce_and_redistribute(grid, payload, sequencer)
+        raise ValueError(f"unknown transfer kind {kind!r}")

@@ -13,8 +13,13 @@ cluster instead (see DESIGN.md's substitution table):
   (``send``/``recv``/``bcast``/``reduce``/``allreduce``/``allgather``/
   ``alltoall``/``reduce_scatter``/``split``) whose collectives use real
   algorithms (binomial trees, rings), so the *communication volume each
-  rank observes matches what a real MPI job would move*.
-* :mod:`repro.runtime.stats` — per-rank byte/message/flop accounting;
+  rank observes matches what a real MPI job would move*. Every
+  collective also has a non-blocking ``i``-variant returning a
+  :class:`~repro.runtime.communicator.CollectiveHandle` (plus
+  ``isend``/``irecv`` point-to-point futures) — the substrate of the
+  comm/compute-overlapped 1.5D layer schedules.
+* :mod:`repro.runtime.stats` — per-rank byte/message/flop accounting
+  plus the wall-time split into compute vs. blocked-on-recv seconds;
   the BSP "maximum words sent by any processor" of Section 7 is read
   directly off these counters.
 * :mod:`repro.runtime.costmodel` — an alpha-beta-gamma machine model
@@ -27,12 +32,18 @@ cluster instead (see DESIGN.md's substitution table):
   grid with row/column sub-communicators (Section 6.3).
 """
 
-from repro.runtime.communicator import Communicator
+from repro.runtime.communicator import (
+    CollectiveHandle,
+    Communicator,
+    RecvFuture,
+)
 from repro.runtime.costmodel import CostModel, MachineParams
 from repro.runtime.executor import SpmdResult, run_spmd
 from repro.runtime.fabric import (
     Fabric,
     FabricTimeoutError,
+    RecvHandle,
+    SendHandle,
     ThreadFabric,
 )
 from repro.runtime.grid import ProcessGrid, square_grid
@@ -46,6 +57,10 @@ __all__ = [
     "FabricTimeoutError",
     "ProcessBackendError",
     "Communicator",
+    "CollectiveHandle",
+    "RecvFuture",
+    "SendHandle",
+    "RecvHandle",
     "CommStats",
     "RunStats",
     "CostModel",

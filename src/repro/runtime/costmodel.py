@@ -104,13 +104,47 @@ class CostModel:
         )
 
     def time(self, stats: RunStats) -> float:
-        """Total modeled time of the execution."""
+        """Total modeled time of a *synchronous* execution."""
         return self.compute_time(stats) + self.communication_time(stats)
 
+    def overlapped_time(self, stats: RunStats) -> float:
+        """Modeled time when local compute hides the bandwidth term.
+
+        The overlapped schedule (``REPRO_OVERLAP=1``) initiates each
+        transfer at its program point but blocks only at first use, so
+        the wire and the local kernels run concurrently: per phase the
+        cost is ``max(compute, beta·B)`` rather than their sum. The
+        per-message latency term stays serial — handles are resolved in
+        initiation order, so every message's alpha is still paid on the
+        critical path.
+        """
+        bandwidth_s = self.params.beta * stats.max_bytes_sent
+        latency_s = self.params.alpha * stats.max_messages_sent
+        return max(self.compute_time(stats), bandwidth_s) + latency_s
+
+    def serial_fraction(self, stats: RunStats) -> float:
+        """Share of the synchronous modeled time overlap cannot hide.
+
+        ``overlapped_time / time`` — 1.0 means nothing to gain (all
+        compute or all latency), values toward 0.5 mean compute and
+        bandwidth are balanced and overlap halves the modeled total.
+        """
+        total = self.time(stats)
+        if total == 0.0:
+            return 1.0
+        return self.overlapped_time(stats) / total
+
     def breakdown(self, stats: RunStats) -> dict[str, float]:
-        """Compute/communication split for reporting."""
+        """Compute/communication split for reporting.
+
+        ``total_s`` keeps the synchronous sum (``compute_s +
+        communication_s``); the overlap projection rides along as
+        ``overlapped_s``/``serial_fraction``.
+        """
         return {
             "compute_s": self.compute_time(stats),
             "communication_s": self.communication_time(stats),
             "total_s": self.time(stats),
+            "overlapped_s": self.overlapped_time(stats),
+            "serial_fraction": self.serial_fraction(stats),
         }

@@ -116,7 +116,11 @@ def run_spmd(
     Returns
     -------
     :class:`SpmdResult` with per-rank return values (rank order),
-    traffic statistics, and the backend that actually ran.
+    traffic statistics, and the backend that actually ran. Each rank's
+    :class:`~repro.runtime.stats.CommStats` carries its measured
+    ``wall_s`` and the communicator-recorded ``wait_s`` — see
+    :meth:`~repro.runtime.stats.RunStats.breakdown` for the per-rank
+    compute-vs-wait split.
     """
     if size < 1:
         raise ValueError("need at least one rank")

@@ -14,6 +14,16 @@ implement the interface:
   and everything else over multiprocessing queues. Real parallelism,
   at the price of serialisation and process start-up.
 
+Both fabrics expose the same *non-blocking* primitives on top of the
+mailbox model: :meth:`FabricBase.try_get` (probe-and-pop),
+:meth:`FabricBase.poll` (bounded wait for arrivals) and the
+:meth:`FabricBase.isend` / :meth:`FabricBase.irecv` pair returning
+completion handles (:class:`SendHandle` / :class:`RecvHandle` with
+``wait``/``test``). Blocking :meth:`FabricBase.get` is implemented once
+here on top of those primitives, so the deadlock timeout report — the
+blocked ``(src, dst, tag)`` plus every undelivered mailbox — is
+identical across backends.
+
 Communication *cost* is accounted separately (see
 :mod:`repro.runtime.stats`) and identically on both backends, because
 the communicator's collective algorithms — not the transport — decide
@@ -23,16 +33,27 @@ what goes on the simulated wire.
 from __future__ import annotations
 
 import threading
+import time
 from collections import defaultdict, deque
 from typing import Any, Hashable
 
-__all__ = ["Fabric", "FabricBase", "ThreadFabric", "FabricTimeoutError"]
+__all__ = [
+    "Fabric",
+    "FabricBase",
+    "ThreadFabric",
+    "FabricTimeoutError",
+    "SendHandle",
+    "RecvHandle",
+]
 
 #: Default seconds a blocked receive waits before declaring deadlock.
 DEFAULT_TIMEOUT = 60.0
 
 #: Maximum mailbox lines included in a timeout report.
 _SUMMARY_LIMIT = 8
+
+#: Error text used when a rank is unblocked by another rank's failure.
+ABORT_MESSAGE = "fabric aborted by another rank"
 
 
 class FabricTimeoutError(RuntimeError):
@@ -50,7 +71,9 @@ def format_timeout(
 
     ``pending`` maps ``(src, dst, tag)`` to the number of messages
     deposited but never received — the first place to look when a tag
-    mismatch or a diverging collective sequence hangs a rank.
+    mismatch or a diverging collective sequence hangs a rank. Messages
+    posted with :meth:`FabricBase.isend` land in the same mailboxes, so
+    pending isends show up here exactly like blocking sends.
     """
     head = (
         f"recv(src={src}, dst={dst}, tag={tag!r}) timed out after "
@@ -78,8 +101,87 @@ def format_timeout(
     )
 
 
+class SendHandle:
+    """Completion handle of a non-blocking send.
+
+    Both fabrics buffer sends (a deposit never blocks on the receiver),
+    so the handle is born complete; it exists so SPMD code can treat
+    sends and receives uniformly (``wait`` all handles of a phase).
+    """
+
+    __slots__ = ()
+
+    def test(self) -> bool:
+        """Whether the send has completed locally (always ``True``)."""
+        return True
+
+    @property
+    def done(self) -> bool:
+        return True
+
+    def wait(self, timeout: float | None = None) -> None:
+        """No-op: the payload left this rank at post time."""
+        return None
+
+
+class RecvHandle:
+    """Completion handle of a non-blocking receive.
+
+    ``test()`` probes without blocking, ``wait()`` blocks with the
+    fabric's deadlock diagnostics. Completion is sticky: the first
+    successful ``wait``/``test`` caches the payload, and every later
+    ``wait`` returns the same object (double-wait is legal, as in MPI's
+    ``MPI_Wait`` on an inactive request). Waiting after the fabric
+    aborted raises :class:`FabricTimeoutError` instead of hanging.
+    """
+
+    __slots__ = ("_fabric", "src", "dst", "tag", "_done", "_value")
+
+    def __init__(self, fabric: "FabricBase", src: int, dst: int,
+                 tag: Hashable) -> None:
+        self._fabric = fabric
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self._done = False
+        self._value: Any = None
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def test(self) -> bool:
+        """Probe for completion without blocking."""
+        if self._done:
+            return True
+        if self._fabric.aborted:
+            raise FabricTimeoutError(ABORT_MESSAGE)
+        ok, payload = self._fabric.try_get(self.src, self.dst, self.tag)
+        if ok:
+            self._value = payload
+            self._done = True
+        return self._done
+
+    def wait(self, timeout: float | None = None) -> Any:
+        """Block until the message arrives; returns the payload."""
+        if self._done:
+            return self._value
+        self._value = self._fabric.get(
+            self.src, self.dst, self.tag, timeout=timeout
+        )
+        self._done = True
+        return self._value
+
+
 class FabricBase:
     """Interface shared by the thread and process fabrics.
+
+    Subclasses implement the non-blocking mailbox primitives
+    (:meth:`put`, :meth:`try_get`, :meth:`poll`,
+    :meth:`pending_counts`, :meth:`_trip_abort`) plus :meth:`abort` and
+    :meth:`barrier`; blocking :meth:`get` and the handle-returning
+    :meth:`isend`/:meth:`irecv` are provided here once, so timeout
+    diagnostics and handle semantics cannot drift between backends.
 
     Parameters
     ----------
@@ -96,12 +198,36 @@ class FabricBase:
         self.size = size
         self.timeout = timeout
 
+    # -- transport primitives (subclass responsibility) -----------------
     def put(self, src: int, dst: int, tag: Hashable, payload: Any) -> None:
-        """Deposit a message; wakes any blocked receivers."""
+        """Deposit a message; wakes any blocked receivers. Never blocks."""
         raise NotImplementedError
 
-    def get(self, src: int, dst: int, tag: Hashable) -> Any:
-        """Blocking receive of the oldest matching message."""
+    def try_get(self, src: int, dst: int, tag: Hashable) -> tuple[bool, Any]:
+        """Non-blocking probe-and-pop: ``(True, payload)`` or ``(False, None)``."""
+        raise NotImplementedError
+
+    def poll(self, src: int, dst: int, tag: Hashable,
+             timeout: float) -> None:
+        """Block up to ``timeout`` seconds for inbound activity.
+
+        Returns as soon as *any* message lands at this rank (not only
+        the requested key), so callers interleaving several pending
+        receives can make progress on all of them.
+        """
+        raise NotImplementedError
+
+    def pending_counts(self) -> dict[tuple[int, int, Hashable], int]:
+        """Undelivered-message counts per mailbox (for timeout reports)."""
+        raise NotImplementedError
+
+    @property
+    def aborted(self) -> bool:
+        """Whether any rank tripped the abort flag."""
+        raise NotImplementedError
+
+    def _trip_abort(self) -> None:
+        """Set the abort flag and wake blocked ranks (no barrier abort)."""
         raise NotImplementedError
 
     def abort(self) -> None:
@@ -111,6 +237,45 @@ class FabricBase:
     def barrier(self) -> None:
         """Global synchronisation across all ranks."""
         raise NotImplementedError
+
+    # -- shared blocking receive + non-blocking handles ------------------
+    def get(self, src: int, dst: int, tag: Hashable,
+            timeout: float | None = None) -> Any:
+        """Blocking receive of the oldest matching message.
+
+        On timeout the abort flag is tripped (unblocking all other
+        ranks) and the raised error names the blocked edge plus every
+        undelivered mailbox — including payloads posted via ``isend``
+        that nobody received.
+        """
+        self._check_ranks(src, dst)
+        limit = self.timeout if timeout is None else timeout
+        deadline = time.monotonic() + limit
+        while True:
+            if self.aborted:
+                raise FabricTimeoutError(ABORT_MESSAGE)
+            ok, payload = self.try_get(src, dst, tag)
+            if ok:
+                return payload
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._trip_abort()
+                raise FabricTimeoutError(
+                    format_timeout(src, dst, tag, limit,
+                                   self.pending_counts())
+                )
+            self.poll(src, dst, tag, remaining)
+
+    def isend(self, src: int, dst: int, tag: Hashable,
+              payload: Any) -> SendHandle:
+        """Non-blocking send; the returned handle is born complete."""
+        self.put(src, dst, tag, payload)
+        return SendHandle()
+
+    def irecv(self, src: int, dst: int, tag: Hashable) -> RecvHandle:
+        """Post a non-blocking receive; complete via ``wait``/``test``."""
+        self._check_ranks(src, dst)
+        return RecvHandle(self, src, dst, tag)
 
     # ------------------------------------------------------------------
     def _check_ranks(self, src: int, dst: int) -> None:
@@ -145,25 +310,37 @@ class ThreadFabric(FabricBase):
             self._mailboxes[(src, dst, tag)].append(payload)
             self._condition.notify_all()
 
-    def get(self, src: int, dst: int, tag: Hashable) -> Any:
+    def try_get(self, src: int, dst: int, tag: Hashable) -> tuple[bool, Any]:
         self._check_ranks(src, dst)
+        with self._condition:
+            box = self._mailboxes.get((src, dst, tag))
+            if box:
+                return True, box.popleft()
+        return False, None
+
+    def poll(self, src: int, dst: int, tag: Hashable,
+             timeout: float) -> None:
         key = (src, dst, tag)
         with self._condition:
-            while True:
-                if self._aborted:
-                    raise FabricTimeoutError("fabric aborted by another rank")
-                box = self._mailboxes.get(key)
-                if box:
-                    return box.popleft()
-                if not self._condition.wait(timeout=self.timeout):
-                    self._aborted = True
-                    self._condition.notify_all()
-                    pending = {
-                        k: len(v) for k, v in self._mailboxes.items() if v
-                    }
-                    raise FabricTimeoutError(
-                        format_timeout(src, dst, tag, self.timeout, pending)
-                    )
+            # Atomic re-check before sleeping: a deposit between the
+            # caller's probe and this lock acquisition must not be lost.
+            box = self._mailboxes.get(key)
+            if box or self._aborted:
+                return
+            self._condition.wait(timeout=timeout)
+
+    def pending_counts(self) -> dict[tuple[int, int, Hashable], int]:
+        with self._condition:
+            return {k: len(v) for k, v in self._mailboxes.items() if v}
+
+    @property
+    def aborted(self) -> bool:
+        return self._aborted
+
+    def _trip_abort(self) -> None:
+        with self._condition:
+            self._aborted = True
+            self._condition.notify_all()
 
     def abort(self) -> None:
         with self._condition:

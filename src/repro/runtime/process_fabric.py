@@ -52,7 +52,7 @@ from typing import Any, Callable, Hashable
 
 import numpy as np
 
-from repro.runtime.fabric import FabricBase, FabricTimeoutError, format_timeout
+from repro.runtime.fabric import FabricBase, FabricTimeoutError
 
 __all__ = ["ProcessFabric", "ProcessBackendError", "run_process_spmd"]
 
@@ -169,10 +169,16 @@ class ProcessFabric(FabricBase):
     """One rank's endpoint of the multiprocessing fabric.
 
     Each rank owns one inbound queue; ``put`` deposits into the
-    destination's queue, ``get`` drains the own queue into local
-    per-``(src, tag)`` mailboxes until the requested message appears.
-    Per-key FIFO order holds because each (src, dst) pair has a single
-    producer and multiprocessing queues preserve per-producer order.
+    destination's queue. A background *drainer* thread (started lazily
+    on the first receive) moves arrivals from the queue into local
+    per-``(src, tag)`` mailboxes under a condition variable, so
+    blocking receives, non-blocking probes and completion handles all
+    see one consistent mailbox view — and a message posted while the
+    rank is busy computing is already local when it finally asks for
+    it. Per-key FIFO order holds because each (src, dst) pair has a
+    single producer, multiprocessing queues preserve per-producer
+    order, and the single drainer preserves queue order into the
+    mailboxes.
     """
 
     def __init__(
@@ -193,6 +199,9 @@ class ProcessFabric(FabricBase):
         self._pending: dict[tuple[int, Hashable], deque] = defaultdict(deque)
         self._shm_token = shm_token
         self._shm_seq = 0
+        self._cond = threading.Condition()
+        self._drainer: threading.Thread | None = None
+        self._drainer_stop = threading.Event()
 
     # ------------------------------------------------------------------
     def _next_shm_name(self) -> str:
@@ -208,42 +217,86 @@ class ProcessFabric(FabricBase):
         encoded = _encode(payload, self._next_shm_name)
         self._queues[dst].put((src, tag, encoded))
 
-    def get(self, src: int, dst: int, tag: Hashable) -> Any:
+    # -- background drain ----------------------------------------------
+    def _ensure_drainer(self) -> None:
+        if self._drainer is None or not self._drainer.is_alive():
+            if self._drainer_stop.is_set():  # drained and shut down
+                return
+            self._drainer = threading.Thread(
+                target=self._drain_loop,
+                name=f"fabric-drain-r{self.rank}",
+                daemon=True,
+            )
+            self._drainer.start()
+
+    def _drain_loop(self) -> None:
+        """Move inbound queue traffic into the mailboxes until stopped."""
+        inbox = self._queues[self.rank]
+        while not self._drainer_stop.is_set():
+            try:
+                src_got, tag_got, encoded = inbox.get(timeout=_POLL_S)
+            except queue_mod.Empty:
+                continue
+            except (OSError, ValueError):  # pragma: no cover - queue closed
+                break
+            with self._cond:
+                self._pending[(src_got, tag_got)].append(encoded)
+                self._cond.notify_all()
+
+    def _stop_drainer(self) -> None:
+        self._drainer_stop.set()
+        if self._drainer is not None and self._drainer.is_alive():
+            self._drainer.join(timeout=5.0)
+
+    # -- mailbox primitives --------------------------------------------
+    def try_get(self, src: int, dst: int, tag: Hashable) -> tuple[bool, Any]:
         self._check_ranks(src, dst)
         if dst != self.rank:
             raise ValueError(
                 f"rank {self.rank} cannot receive on behalf of rank {dst}"
             )
-        key = (src, tag)
-        deadline = time.monotonic() + self.timeout
-        while True:
-            box = self._pending.get(key)
-            if box:
-                return _decode(box.popleft())
-            if self._abort.is_set():
-                raise FabricTimeoutError(_ABORT_MESSAGE)
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                self._abort.set()
-                pending = {
-                    (s, self.rank, t): len(d)
-                    for (s, t), d in self._pending.items()
-                    if d
-                }
-                raise FabricTimeoutError(
-                    format_timeout(src, dst, tag, self.timeout, pending)
-                )
-            try:
-                src_got, tag_got, encoded = self._queues[self.rank].get(
-                    timeout=min(_POLL_S, remaining)
-                )
-            except queue_mod.Empty:
-                continue
-            self._pending[(src_got, tag_got)].append(encoded)
+        self._ensure_drainer()
+        with self._cond:
+            box = self._pending.get((src, tag))
+            if not box:
+                return False, None
+            encoded = box.popleft()
+        # Decode (shared-memory attach + copy + unlink) outside the lock.
+        return True, _decode(encoded)
+
+    def poll(self, src: int, dst: int, tag: Hashable,
+             timeout: float) -> None:
+        self._ensure_drainer()
+        with self._cond:
+            box = self._pending.get((src, tag))
+            if box or self._abort.is_set():
+                return
+            # Cap the sleep: the abort event is a cross-process flag and
+            # does not notify this rank's local condition variable.
+            self._cond.wait(timeout=min(timeout, _POLL_S))
+
+    def pending_counts(self) -> dict[tuple[int, int, Hashable], int]:
+        with self._cond:
+            return {
+                (s, self.rank, t): len(d)
+                for (s, t), d in self._pending.items()
+                if d
+            }
+
+    @property
+    def aborted(self) -> bool:
+        return self._abort.is_set()
+
+    def _trip_abort(self) -> None:
+        self._abort.set()
+        with self._cond:
+            self._cond.notify_all()
 
     def abort(self) -> None:
         self._abort.set()
         self._barrier.abort()
+        with self._cond:
+            self._cond.notify_all()
 
     def barrier(self) -> None:
         try:
@@ -255,14 +308,21 @@ class ProcessFabric(FabricBase):
 
     # ------------------------------------------------------------------
     def drain(self) -> None:
-        """Release segments of every undelivered inbound message."""
+        """Release segments of every undelivered inbound message.
+
+        Stops the background drainer first so this rank is the sole
+        consumer of its queue during cleanup.
+        """
+        self._stop_drainer()
         while True:
             try:
                 _src, _tag, encoded = self._queues[self.rank].get_nowait()
             except (queue_mod.Empty, OSError, ValueError):
                 break
             _release(encoded)
-        for box in self._pending.values():
+        with self._cond:
+            boxes = list(self._pending.values())
+        for box in boxes:
             while box:
                 _release(box.popleft())
 

@@ -39,10 +39,20 @@ class CommStats:
         executor. On the thread backend ranks share the GIL so this is
         not a scaling signal; on the process backend it is real
         per-rank time and the strong-scaling benchmarks report it.
+    wait_s:
+        Seconds this rank spent *blocked on a receive* (inside the
+        communicator waiting for a message or a collective step to
+        arrive). ``wall_s - wait_s`` is the compute share; the overlap
+        work in the 1.5D layers exists to shrink ``wait_s`` without
+        touching the traffic counters above.
+    wait_by_phase:
+        ``phase -> seconds`` breakdown of ``wait_s``, attributed to the
+        phase active when the operation was *initiated* (so synchronous
+        and overlapped runs attribute waits to the same phases).
     """
 
     __slots__ = ("rank", "bytes_sent", "messages_sent", "flops", "by_phase",
-                 "_phase", "trace", "wall_s")
+                 "_phase", "trace", "wall_s", "wait_s", "wait_by_phase")
 
     def __init__(self, rank: int, trace: bool = False) -> None:
         self.rank = rank
@@ -52,6 +62,8 @@ class CommStats:
         self.by_phase: dict[str, int] = {}
         self._phase = "default"
         self.wall_s = 0.0
+        self.wait_s = 0.0
+        self.wait_by_phase: dict[str, float] = {}
         if trace:
             from repro.runtime.trace import CommTrace
 
@@ -64,6 +76,11 @@ class CommStats:
         """Label subsequent traffic (e.g. per pipeline stage)."""
         self._phase = phase
 
+    @property
+    def phase(self) -> str:
+        """The currently active traffic label."""
+        return self._phase
+
     def record_send(self, nbytes: int) -> None:
         """Charge one outgoing message of ``nbytes`` to this rank."""
         self.bytes_sent += int(nbytes)
@@ -74,6 +91,23 @@ class CommStats:
         if self.trace is not None:
             self.trace.record(self.messages_sent, self._phase, int(nbytes))
 
+    def record_wait(self, seconds: float, phase: str | None = None) -> None:
+        """Charge blocked-on-recv time (attributed to ``phase``)."""
+        if seconds <= 0.0:
+            return
+        label = self._phase if phase is None else phase
+        self.wait_s += seconds
+        self.wait_by_phase[label] = (
+            self.wait_by_phase.get(label, 0.0) + seconds
+        )
+        if self.trace is not None:
+            self.trace.record_wait(label, seconds)
+
+    @property
+    def compute_s(self) -> float:
+        """Wall-clock share spent computing rather than blocked."""
+        return max(0.0, self.wall_s - self.wait_s)
+
     @property
     def words_sent(self) -> int:
         """Traffic in fp32 words — the unit of the Section-7 bounds."""
@@ -82,7 +116,8 @@ class CommStats:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"CommStats(rank={self.rank}, msgs={self.messages_sent}, "
-            f"bytes={self.bytes_sent}, flops={self.flops.total})"
+            f"bytes={self.bytes_sent}, flops={self.flops.total}, "
+            f"wait_s={self.wait_s:.3f})"
         )
 
 
@@ -124,6 +159,35 @@ class RunStats:
         """Slowest rank's measured wall-clock seconds (0 if unset)."""
         return max((s.wall_s for s in self.per_rank), default=0.0)
 
+    @property
+    def max_wait_s(self) -> float:
+        """Largest per-rank blocked-on-recv time."""
+        return max((s.wait_s for s in self.per_rank), default=0.0)
+
+    @property
+    def total_wait_s(self) -> float:
+        return sum(s.wait_s for s in self.per_rank)
+
+    def breakdown(self) -> list[dict[str, float]]:
+        """Per-rank compute-vs-wait split of the measured wall time.
+
+        Each entry reports ``wall_s``, ``wait_s`` (blocked on a
+        receive), ``compute_s`` (the difference) and the blocked
+        fraction — the number the comm/compute overlap work moves.
+        """
+        rows = []
+        for stats in self.per_rank:
+            wall = stats.wall_s
+            rows.append({
+                "rank": stats.rank,
+                "wall_s": wall,
+                "wait_s": stats.wait_s,
+                "compute_s": stats.compute_s,
+                "wait_fraction": (stats.wait_s / wall) if wall > 0 else 0.0,
+                "wait_by_phase": dict(stats.wait_by_phase),
+            })
+        return rows
+
     def phase_bytes(self) -> dict[str, int]:
         """Per-phase max-over-ranks byte counts."""
         phases: dict[str, int] = {}
@@ -142,4 +206,5 @@ class RunStats:
             "max_messages_sent": self.max_messages_sent,
             "max_flops": self.max_flops,
             "max_wall_s": self.max_wall_s,
+            "max_wait_s": self.max_wait_s,
         }

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["TraceEvent", "CommTrace", "diff_traces"]
+__all__ = ["TraceEvent", "WaitEvent", "CommTrace", "diff_traces"]
 
 #: Default maximum retained events per rank (a ring buffer bound).
 DEFAULT_CAPACITY = 10_000
@@ -38,12 +38,31 @@ class TraceEvent:
         return f"#{self.sequence:<6} {self.phase:<14} {self.nbytes} B"
 
 
+@dataclass(frozen=True)
+class WaitEvent:
+    """One blocked-on-recv interval (attributed at initiation)."""
+
+    phase: str
+    seconds: float
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return f"wait   {self.phase:<14} {self.seconds * 1e3:.3f} ms"
+
+
 @dataclass
 class CommTrace:
-    """Bounded chronological record of a rank's sends."""
+    """Bounded chronological record of a rank's sends and waits.
+
+    Sends capture the traffic sequence (used by :func:`diff_traces` to
+    pinpoint diverging collective orders); waits capture *time blocked
+    on a receive* so a trace shows not just what a rank sent but where
+    it stalled — the per-phase stall profile the comm/compute overlap
+    work targets.
+    """
 
     capacity: int = DEFAULT_CAPACITY
     events: list[TraceEvent] = field(default_factory=list)
+    waits: list[WaitEvent] = field(default_factory=list)
     dropped: int = 0
 
     def record(self, sequence: int, phase: str, nbytes: int) -> None:
@@ -52,12 +71,29 @@ class CommTrace:
             return
         self.events.append(TraceEvent(sequence, phase, nbytes))
 
+    def record_wait(self, phase: str, seconds: float) -> None:
+        if len(self.waits) >= self.capacity:
+            self.dropped += 1
+            return
+        self.waits.append(WaitEvent(phase, seconds))
+
     def by_phase(self) -> dict[str, int]:
         """Event counts per phase."""
         out: dict[str, int] = {}
         for event in self.events:
             out[event.phase] = out.get(event.phase, 0) + 1
         return out
+
+    def wait_by_phase(self) -> dict[str, float]:
+        """Blocked seconds per phase."""
+        out: dict[str, float] = {}
+        for event in self.waits:
+            out[event.phase] = out.get(event.phase, 0.0) + event.seconds
+        return out
+
+    def wait_s(self) -> float:
+        """Total traced blocked seconds."""
+        return sum(event.seconds for event in self.waits)
 
 
 def diff_traces(a: CommTrace, b: CommTrace) -> str:

@@ -78,3 +78,46 @@ def traced_sends(comm):
     comm.stats.set_phase("beta")
     comm.allreduce(np.ones(8))
     return comm.stats.messages_sent
+
+
+def isend_then_deadlock(comm):
+    """Rank 1's pending *isend* must appear in rank 0's deadlock report."""
+    if comm.rank == 0:
+        comm.recv(1, tag="missing")
+    else:
+        comm.isend(np.ones(4), 0, tag="decoy")
+        comm.recv(0, tag="reply-never-sent")
+
+
+def nonblocking_collective_mix(comm, n: int = 2_048):
+    """Initiate several collectives, wait them out of initiation order.
+
+    Returns a checksum tuple so thread and process backends can be
+    compared; the engine's ordered completion makes the out-of-order
+    waits legal (waiting a later handle drains the earlier ones first).
+    """
+    h_bcast = comm.ibcast(np.arange(n, dtype=np.float64), root=0)
+    h_sum = comm.iallreduce(np.full(n, float(comm.rank + 1)))
+    h_gather = comm.iallgather(np.array([float(comm.rank)]))
+    gathered = h_gather.wait()     # initiated last, waited first
+    total = h_sum.wait()
+    bcast = h_bcast.wait()
+    comm.barrier()
+    return (
+        float(bcast.sum()),
+        float(total[0]),
+        sum(float(b[0]) for b in gathered),
+    )
+
+
+def waity_pingpong(comm, sleep_s: float = 0.15):
+    """Rank 0 blocks on a receive rank 1 delays — creates real wait_s."""
+    import time as _time
+
+    comm.stats.set_phase("stall")
+    if comm.rank == 0:
+        payload = comm.recv(1, tag="late")
+        return float(payload.sum())
+    _time.sleep(sleep_s)
+    comm.send(np.ones(8), 0, tag="late")
+    return 0.0

@@ -1,0 +1,51 @@
+"""Sampled training past the full-batch memory ceiling (recorded).
+
+Trains a 2-layer GAT with fan-out-limited mini-batches on a power-law
+graph whose estimated full-batch activation footprint is at least an
+order of magnitude above the per-batch sampled working set — the
+configuration the full-batch trainer could not hold at a matching
+memory budget. The run's ms/epoch, peak RSS and loss curve are written
+to ``benchmarks/results/sampled_scale.json``; wall-clock numbers are
+*recorded, not gated* (the CI job uploads the JSON as an artifact and
+only the structural claims below are asserted).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.bench.sampled_scale import run
+
+
+def test_gat_sampled_powerlaw_scale(sweep_benchmark):
+    record = sweep_benchmark(lambda: run(
+        n=1 << 15, mean_degree=8, feature_dim=32, hidden_dim=32,
+        num_classes=8, fanout=3, num_layers=2, batch_size=128,
+        epochs=2, seed=0,
+    ))
+
+    # The sized-past-the-ceiling claim: the full-batch cache estimate
+    # dwarfs the sampled batch's working set by >= 10x (deterministic
+    # arithmetic over the configuration, safe to assert anywhere).
+    assert record["scale_ratio"] >= 10.0
+
+    # Training actually ran and stayed finite on the heavy-tailed graph.
+    batches = -(-record["config"]["n"] // record["config"]["batch_size"])
+    assert len(record["losses"]) == batches * record["config"]["epochs"]
+    assert all(math.isfinite(x) for x in record["losses"])
+    assert record["sampled_edges"] > 0
+    assert record["ms_per_epoch"] > 0.0
+    assert record["peak_rss_mb"] > 0.0
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "sampled_scale.json"
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(
+        f"\nsampled-scale: n={record['config']['n']} "
+        f"m={record['config']['num_edges']} "
+        f"ratio={record['scale_ratio']:.1f}x "
+        f"ms/epoch={record['ms_per_epoch']:.1f} "
+        f"peak_rss={record['peak_rss_mb']:.1f}MiB -> {out}"
+    )

@@ -132,6 +132,30 @@ def run_suite(
         out = model.forward(dag_a, dag_h, training=True)
         model.backward(dag_g)
 
+    # One sampled mini-batch training step (sample + fwd + bwd + update)
+    # of a 2-layer GAT on a heavy-tailed graph — gates the end-to-end
+    # sampling engine: fan-out top-k, block compaction, and the blocked
+    # layer sweep together.
+    from repro.models import build_model
+    from repro.tensor.sampling_graph import sample_blocks
+    from repro.training.loss import SoftmaxCrossEntropyLoss
+    from repro.training.minibatch import train_step
+    from repro.training.optim import SGD
+
+    pl_a = make_graph("powerlaw", n, deg * n, seed=2).astype(np.float32)
+    pl_h = rng.normal(size=(n, k)).astype(np.float32)
+    pl_y = rng.integers(0, 8, n)
+    pl_model = build_model("gat", k, k, 8, num_layers=2, seed=0,
+                           dtype=np.float32)
+    pl_loss = SoftmaxCrossEntropyLoss()
+    pl_opt = SGD(0.01)
+    pl_rng = np.random.default_rng(0)
+    pl_targets = np.arange(256, dtype=np.int64)
+
+    def sampled_step():
+        blocks = sample_blocks(pl_a, pl_targets, (8, 8), pl_rng)
+        train_step(pl_model, pl_loss, pl_opt, blocks, pl_h, pl_y)
+
     dag_models = {
         "dag_gat3_interp": dag_model("gat", fused=False),
         "dag_gat3_fused": dag_model("gat", fused=True),
@@ -150,6 +174,7 @@ def run_suite(
         "col_sum": lambda: a.col_sum(),
         "gat8_multihead_batched": mh_step,
         "gat8_fused": mega_step,
+        "gat_sampled_powerlaw": sampled_step,
     }
     cases.update({
         name: (lambda model=model: dag_step(model))

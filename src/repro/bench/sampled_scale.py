@@ -1,0 +1,218 @@
+"""Sampled GAT training on graphs beyond the full-batch ceiling.
+
+The full-batch trainer caches every layer's activations for the whole
+graph, which bounds the graph size one rank can train. The sampled
+engine bounds the working set by the fan-out budget instead; this
+module measures that claim on a heavy-tailed (power-law) graph sized
+well past the estimated full-batch activation footprint, and records
+ms/epoch, peak RSS and the batch-loss curve.
+
+CLI (the CI ``sampling`` job's artifact producer and the determinism
+matrix's replay target — ``--losses-only`` emits one loss per line so
+two runs with the same ``$REPRO_SEED`` can be ``diff``\\ ed):
+
+.. code-block:: console
+
+   $ PYTHONPATH=src python -m repro.bench.sampled_scale --out scale.json
+   $ REPRO_SEED=7 PYTHONPATH=src python -m repro.bench.sampled_scale \\
+         --epochs 1 --losses-only > a.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "run",
+    "activation_footprint_mb",
+    "peak_rss_mb",
+    "main",
+]
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MiB."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    scale = 1 / (1024 * 1024) if sys.platform == "darwin" else 1 / 1024
+    return float(peak) * scale
+
+
+def activation_footprint_mb(
+    num_vertices: int,
+    num_edges: int,
+    feature_dim: int,
+    hidden_dim: int,
+    num_classes: int,
+    num_layers: int,
+    itemsize: int = 4,
+) -> float:
+    """Estimated training-cache footprint of one forward pass (MiB).
+
+    Per layer the trainer caches the layer input, the pre-activation
+    and the output (``n x dim`` each) plus a few per-edge score arrays
+    (attention scores, softmax stats) — the quantity that makes
+    full-batch training infeasible past the memory ceiling. The same
+    formula applied to a batch's worst-case source set sizes the
+    sampled working set, so the two are directly comparable.
+    """
+    dims = (
+        [feature_dim] + [hidden_dim] * (num_layers - 1) + [num_classes]
+    )
+    node_words = sum(
+        num_vertices * (dims[i] + 2 * dims[i + 1])
+        for i in range(num_layers)
+    )
+    edge_words = 3 * num_edges * num_layers
+    return (node_words + edge_words) * itemsize / 2**20
+
+
+def run(
+    n: int = 1 << 15,
+    mean_degree: int = 8,
+    feature_dim: int = 32,
+    hidden_dim: int = 32,
+    num_classes: int = 8,
+    fanout: int = 3,
+    num_layers: int = 2,
+    batch_size: int = 128,
+    epochs: int = 2,
+    seed: int | None = None,
+    model: str = "gat",
+) -> dict:
+    """Train a sampled A-GNN on a power-law graph; return the record.
+
+    ``seed=None`` resolves ``$REPRO_SEED`` (the determinism matrix
+    relies on this): graph, features, labels, model init and the
+    sampling stream all derive from the one seed, so the whole record
+    is a pure function of the arguments.
+    """
+    from repro.bench.harness import make_graph
+    from repro.models import build_model
+    from repro.training.loss import SoftmaxCrossEntropyLoss
+    from repro.training.minibatch import MinibatchTrainer
+    from repro.training.optim import SGD
+    from repro.util.rng import make_rng, repro_seed_default
+
+    seed = repro_seed_default() if seed is None else int(seed)
+    rng = make_rng(seed)
+    a = make_graph("powerlaw", n, mean_degree * n, seed=seed)
+    a = a.astype(np.float32)
+    h = rng.normal(size=(n, feature_dim)).astype(np.float32)
+    labels = rng.integers(0, num_classes, n)
+
+    gnn = build_model(
+        model, feature_dim, hidden_dim, num_classes,
+        num_layers=num_layers, seed=seed, dtype=np.float32,
+    )
+    trainer = MinibatchTrainer(
+        gnn, SoftmaxCrossEntropyLoss(), SGD(0.05),
+        fanouts=(fanout,) * num_layers, batch_size=batch_size,
+        shuffle=True, seed=seed,
+    )
+    t0 = time.perf_counter()
+    result = trainer.fit(a, h, labels, epochs=epochs, full_eval=False)
+    total_s = time.perf_counter() - t0
+
+    # Worst-case source-set size of one batch: every hop multiplies by
+    # (fanout + 1) before deduplication caps it at n.
+    batch_sources = min(n, batch_size * (fanout + 1) ** num_layers)
+    full_mb = activation_footprint_mb(
+        n, a.nnz, feature_dim, hidden_dim, num_classes, num_layers
+    )
+    sampled_mb = activation_footprint_mb(
+        batch_sources,
+        batch_sources * fanout,
+        feature_dim, hidden_dim, num_classes, num_layers,
+    )
+    return {
+        "meta": {
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "config": {
+            "model": model,
+            "n": int(n),
+            "num_edges": int(a.nnz),
+            "feature_dim": int(feature_dim),
+            "hidden_dim": int(hidden_dim),
+            "num_classes": int(num_classes),
+            "fanout": int(fanout),
+            "num_layers": int(num_layers),
+            "batch_size": int(batch_size),
+            "epochs": int(epochs),
+            "seed": int(seed),
+        },
+        "full_batch_activation_mb": round(full_mb, 3),
+        "sampled_batch_activation_mb": round(sampled_mb, 3),
+        "scale_ratio": round(full_mb / sampled_mb, 3),
+        "sampled_edges": int(result.sampled_edges),
+        "total_s": round(total_s, 4),
+        "ms_per_epoch": round(total_s / epochs * 1e3, 3),
+        "peak_rss_mb": round(peak_rss_mb(), 3),
+        "losses": result.batch_losses,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Sampled GAT training past the full-batch ceiling."
+    )
+    parser.add_argument("--n", type=int, default=1 << 15)
+    parser.add_argument("--degree", type=int, default=8,
+                        help="mean degree of the power-law graph")
+    parser.add_argument("--feat", type=int, default=32)
+    parser.add_argument("--hidden", type=int, default=32)
+    parser.add_argument("--classes", type=int, default=8)
+    parser.add_argument("--fanout", type=int, default=3)
+    parser.add_argument("--layers", type=int, default=2)
+    parser.add_argument("--batch-size", type=int, default=128)
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--model", default="gat")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="defaults to $REPRO_SEED (else 0)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write the full JSON record to this path",
+    )
+    parser.add_argument(
+        "--losses-only", action="store_true",
+        help="print one batch loss per line and nothing else "
+        "(the determinism-diff format)",
+    )
+    args = parser.parse_args(argv)
+
+    record = run(
+        n=args.n, mean_degree=args.degree, feature_dim=args.feat,
+        hidden_dim=args.hidden, num_classes=args.classes,
+        fanout=args.fanout, num_layers=args.layers,
+        batch_size=args.batch_size, epochs=args.epochs,
+        seed=args.seed, model=args.model,
+    )
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(record, indent=2) + "\n")
+    if args.losses_only:
+        for loss in record["losses"]:
+            print(repr(loss))
+        return 0
+    print(json.dumps({k: v for k, v in record.items() if k != "losses"},
+                     indent=2))
+    if args.out is not None:
+        print(f"record written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,13 @@ from repro.tensor.segment import (
     segment_softmax,
     segment_sum,
 )
+from repro.tensor.sampling_graph import (
+    Block,
+    SamplingGraph,
+    sample_blocks,
+    sample_one_hop,
+    sampling_graph_of,
+)
 from repro.tensor.structure import PatternStructure, lookup_structure
 from repro.tensor.workspace import (
     clear_workspaces,
@@ -73,6 +80,11 @@ __all__ = [
     "bincount_sum",
     "PatternStructure",
     "lookup_structure",
+    "Block",
+    "SamplingGraph",
+    "sampling_graph_of",
+    "sample_one_hop",
+    "sample_blocks",
     "workspace",
     "set_workspace_reuse",
     "workspace_reuse_enabled",

@@ -1,0 +1,334 @@
+"""Compact CSC sampling structure and layered mini-batch blocks.
+
+The global-tensor formulation is full-batch by construction: one
+training iteration touches every vertex. For graphs whose activations
+do not fit one rank, DistDGL-style systems instead train on *sampled
+mini-batches* — a batch of target vertices plus a fan-out-limited
+L-hop neighbourhood. This module provides the sampling substrate
+(GraphBolt's ``CSCSamplingGraph`` is the exemplar):
+
+* :class:`SamplingGraph` — a per-destination neighbour lookup built
+  once from a :class:`~repro.tensor.csr.CSRMatrix` and interned on its
+  :class:`~repro.tensor.structure.PatternStructure` (the aggregation
+  ``Z[i] = Σ_j Ψ(A, H)[i, j] · H[j]`` reads row ``i`` of A, so A's CSR
+  rows *are* the CSC in-adjacency of the aggregation operator: the
+  index arrays are shared, not copied).
+* :func:`SamplingGraph.sample_edges` — seeded per-seed fan-out
+  neighbour sampling **without replacement**, vectorised: sub-fan-out
+  seeds take their full CSR slice, over-fan-out seeds draw a uniform
+  k-subset via random keys + per-segment top-k.
+* :class:`Block` / :func:`sample_blocks` — layered (per-hop) message
+  flow blocks over **compacted local ids**. Each block is a *square*
+  CSR over its source vertex set whose non-destination rows are empty,
+  so it flows through the pattern cache, the head-batched kernels, the
+  fused megakernel and ``DagLayer`` completely unchanged.
+
+Bit-identity anchor
+-------------------
+With ``fanout >= max degree`` every seed takes the full-neighbour
+branch in CSR order, the RNG is never consulted, and the emitted block
+over *all* vertices has ``indptr``/``indices``/``data`` exactly equal
+to A's. Because the compaction map is monotone (source ids are kept
+sorted), per-row summation order is preserved for any target subset of
+a canonical (row-sorted) adjacency — sampled forward/backward are then
+*bit-identical* to the full-batch path, which is what
+``tests/test_minibatch.py`` asserts for VA/AGNN/GAT.
+
+Events: ``sampling_graph.built`` / ``sampling_graph.hit`` (structure
+interning), ``sample.hop`` (one hop sampled), reported through
+:func:`repro.util.counters.event_counter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor.csr import CSRMatrix
+from repro.tensor.structure import PatternStructure
+from repro.util.counters import event_counter
+
+__all__ = [
+    "Block",
+    "SamplingGraph",
+    "sampling_graph_of",
+    "sample_one_hop",
+    "sample_blocks",
+]
+
+
+class SamplingGraph:
+    """Per-destination neighbour lookup over one interned pattern.
+
+    Holds (shared, frozen) references to the pattern's ``indptr`` /
+    ``indices``; sampling methods return **edge ids** — positions into
+    the owning matrix's ``indices``/``data`` — so callers can gather
+    both the endpoints and the edge values of a sample.
+    """
+
+    __slots__ = ("structure", "indptr", "indices", "num_nodes")
+
+    def __init__(self, structure: PatternStructure) -> None:
+        if structure.shape[0] != structure.shape[1]:
+            raise ValueError(
+                "sampling requires a square adjacency; got shape "
+                f"{structure.shape}"
+            )
+        self.structure = structure
+        self.indptr = structure.indptr
+        self.indices = structure.indices
+        self.num_nodes = structure.shape[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SamplingGraph(num_nodes={self.num_nodes}, "
+            f"num_edges={int(self.indices.shape[0])})"
+        )
+
+    # ------------------------------------------------------------------
+    def degrees(self, seeds: np.ndarray) -> np.ndarray:
+        """Out-degree (stored-entry count) of each seed."""
+        seeds = np.asarray(seeds, dtype=np.int64)
+        return self.indptr[seeds + 1] - self.indptr[seeds]
+
+    # ------------------------------------------------------------------
+    def sample_edges(
+        self,
+        seeds: np.ndarray,
+        fanout: int | None,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sample up to ``fanout`` neighbours per seed, w/o replacement.
+
+        Returns ``(eids, counts)``: ``counts[i] = min(degree_i,
+        fanout)`` sampled edges for ``seeds[i]``, and ``eids`` their
+        edge ids concatenated in seed order, **ascending within each
+        seed's segment** (so a canonical adjacency yields canonical
+        blocks). ``fanout=None`` means unlimited (take every
+        neighbour); seeds whose degree does not exceed the fan-out take
+        their full CSR slice without consulting ``rng`` — with a
+        graph-wide full fan-out the RNG state is never advanced.
+        """
+        seeds = np.asarray(seeds, dtype=np.int64)
+        if seeds.size and (
+            seeds.min() < 0 or seeds.max() >= self.num_nodes
+        ):
+            raise ValueError("seed vertex id out of range")
+        starts = self.indptr[seeds]
+        deg = self.indptr[seeds + 1] - starts
+        if fanout is None:
+            counts = deg
+        else:
+            fanout = int(fanout)
+            if fanout < 0:
+                raise ValueError("fanout must be >= 0 (or None)")
+            counts = np.minimum(deg, fanout)
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64), counts
+        over = counts < deg
+        if not over.any():
+            # Full-neighbour fast path: one ragged-range gather.
+            return _ragged_ranges(starts, counts), counts
+        eids = np.empty(total, dtype=np.int64)
+        offsets = np.zeros(seeds.shape[0], dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        take_all = ~over
+        if take_all.any():
+            dst_pos = _ragged_ranges(offsets[take_all], counts[take_all])
+            eids[dst_pos] = _ragged_ranges(starts[take_all], counts[take_all])
+        # Over-fan-out seeds: draw one uniform key per candidate edge
+        # and keep each segment's ``fanout`` smallest — a uniform
+        # k-subset without replacement, fully vectorised.
+        deg_o = deg[over]
+        cand = _ragged_ranges(starts[over], deg_o)
+        seg = np.repeat(np.arange(deg_o.shape[0], dtype=np.int64), deg_o)
+        keys = rng.random(cand.shape[0])
+        order = np.lexsort((keys, seg))
+        seg_starts = np.zeros(deg_o.shape[0], dtype=np.int64)
+        np.cumsum(deg_o[:-1], out=seg_starts[1:])
+        winners = np.repeat(seg_starts, fanout) + np.tile(
+            np.arange(fanout, dtype=np.int64), deg_o.shape[0]
+        )
+        picked = cand[order][winners]
+        # Restore ascending edge-id order inside each seed's segment.
+        picked_seg = np.repeat(
+            np.arange(deg_o.shape[0], dtype=np.int64), fanout
+        )
+        picked = picked[np.lexsort((picked, picked_seg))]
+        dst_pos = _ragged_ranges(offsets[over], counts[over])
+        eids[dst_pos] = picked
+        return eids, counts
+
+
+def _ragged_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(s, s + l)`` for each (start, length) pair.
+
+    The vectorised ragged-range construction used throughout the
+    tensor layer: ``repeat(starts - exclusive_cumsum(lengths),
+    lengths) + arange(total)``.
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.zeros(lengths.shape[0], dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    out = np.repeat(starts - offsets, lengths)
+    out += np.arange(total, dtype=np.int64)
+    return out
+
+
+def sampling_graph_of(a: CSRMatrix) -> SamplingGraph:
+    """The (interned) sampling structure of ``a``'s pattern.
+
+    Built on first use and cached on the
+    :class:`~repro.tensor.structure.PatternStructure`, so every matrix
+    sharing the pattern — and every batch sampled from it — reuses one
+    structure object.
+    """
+    structure = a.structure
+    graph = structure._sampling_graph
+    if graph is None:
+        graph = SamplingGraph(structure)
+        structure._sampling_graph = graph
+        event_counter().bump("sampling_graph.built")
+    else:
+        event_counter().bump("sampling_graph.hit")
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Layered blocks
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Block:
+    """One hop's message-flow block over compacted local ids.
+
+    ``matrix`` is a *square* CSR of shape ``(num_src, num_src)`` whose
+    row ``r`` holds the sampled in-edges of ``src_nodes[r]`` if that
+    vertex is a destination of this hop and is empty otherwise. Keeping
+    the block square (rather than DGL's rectangular blocks) is what
+    lets the existing pattern cache, head-batched kernels, fused
+    megakernel and ``DagLayer`` run on it unchanged — empty rows cost
+    nothing in a CSR sweep.
+
+    ``src_nodes`` are the hop's input vertices as **sorted global
+    ids** (the compaction map is monotone); ``dst_positions`` indexes
+    the destination rows within ``src_nodes``. A layer consumes
+    features over ``src_nodes`` and its meaningful outputs are
+    ``z[dst_positions]``.
+    """
+
+    matrix: CSRMatrix
+    src_nodes: np.ndarray
+    dst_positions: np.ndarray
+    sampled_edges: int
+
+    @property
+    def num_src(self) -> int:
+        return int(self.src_nodes.shape[0])
+
+    @property
+    def num_dst(self) -> int:
+        return int(self.dst_positions.shape[0])
+
+    @property
+    def dst_nodes(self) -> np.ndarray:
+        """Global ids of this hop's destination vertices (sorted)."""
+        return self.src_nodes[self.dst_positions]
+
+    # ------------------------------------------------------------------
+    # Wire format (pipelined sampler/trainer split)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> tuple:
+        """Serialise to a tuple of arrays for a fabric transfer."""
+        m = self.matrix
+        return (
+            m.indptr,
+            m.indices,
+            m.data,
+            self.src_nodes,
+            self.dst_positions,
+            int(self.sampled_edges),
+        )
+
+    @classmethod
+    def from_payload(cls, payload: tuple) -> "Block":
+        """Rebuild from :meth:`to_payload` output (post-transfer)."""
+        indptr, indices, data, src_nodes, dst_positions, edges = payload
+        num_src = int(src_nodes.shape[0])
+        matrix = CSRMatrix(indptr, indices, data, (num_src, num_src))
+        return cls(
+            matrix=matrix,
+            src_nodes=np.asarray(src_nodes, dtype=np.int64),
+            dst_positions=np.asarray(dst_positions, dtype=np.int64),
+            sampled_edges=int(edges),
+        )
+
+
+def sample_one_hop(
+    a: CSRMatrix,
+    dst_nodes: np.ndarray,
+    fanout: int | None,
+    rng: np.random.Generator,
+) -> Block:
+    """Sample one hop of in-edges for ``dst_nodes`` (sorted, unique).
+
+    Edge values are gathered from ``a.data`` so weighted adjacencies
+    sample their weights along with the topology.
+    """
+    dst_nodes = np.asarray(dst_nodes, dtype=np.int64)
+    if dst_nodes.size and np.any(np.diff(dst_nodes) <= 0):
+        raise ValueError("dst_nodes must be strictly increasing")
+    graph = sampling_graph_of(a)
+    eids, counts = graph.sample_edges(dst_nodes, fanout, rng)
+    cols_global = a.indices[eids]
+    src_nodes = np.union1d(dst_nodes, cols_global)
+    num_src = int(src_nodes.shape[0])
+    dst_positions = np.searchsorted(src_nodes, dst_nodes)
+    local_cols = np.searchsorted(src_nodes, cols_global)
+    row_counts = np.zeros(num_src, dtype=np.int64)
+    row_counts[dst_positions] = counts
+    indptr = np.zeros(num_src + 1, dtype=np.int64)
+    np.cumsum(row_counts, out=indptr[1:])
+    matrix = CSRMatrix(
+        indptr, local_cols, a.data[eids], (num_src, num_src)
+    )
+    event_counter().bump("sample.hop")
+    return Block(
+        matrix=matrix,
+        src_nodes=src_nodes,
+        dst_positions=dst_positions,
+        sampled_edges=int(eids.shape[0]),
+    )
+
+
+def sample_blocks(
+    a: CSRMatrix,
+    targets: np.ndarray,
+    fanouts: tuple[int | None, ...],
+    rng: np.random.Generator,
+) -> list[Block]:
+    """Layered neighbour sampling for an L-layer model.
+
+    Samples outward from the batch targets: the *last* block's
+    destinations are ``unique(targets)``, each earlier block's
+    destinations are the next block's source set (so
+    ``blocks[l].dst_nodes == blocks[l + 1].src_nodes`` exactly — the
+    inter-layer contract the mini-batch trainer relies on). Blocks are
+    returned in **layer order**: ``blocks[0]`` feeds layer 0 and its
+    ``src_nodes`` index the input features. The RNG is consumed from
+    the output hop inward; one seed stream therefore reproduces the
+    whole batch.
+    """
+    if not fanouts:
+        raise ValueError("need at least one fan-out (one per layer)")
+    dst = np.unique(np.asarray(targets, dtype=np.int64))
+    blocks: list[Block] = []
+    for fanout in reversed(tuple(fanouts)):
+        block = sample_one_hop(a, dst, fanout, rng)
+        blocks.append(block)
+        dst = block.src_nodes
+    blocks.reverse()
+    return blocks

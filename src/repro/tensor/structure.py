@@ -97,6 +97,7 @@ class PatternStructure:
         "_head_cache",
         "_degree_stats",
         "_sweep_plans",
+        "_sampling_graph",
         "__weakref__",
     )
 
@@ -114,6 +115,11 @@ class PatternStructure:
         self._head_cache: dict[int, list] = {}
         self._degree_stats: DegreeStats | None = None
         self._sweep_plans: dict = {}
+        #: Interned :class:`repro.tensor.sampling_graph.SamplingGraph`
+        #: (built lazily by ``sampling_graph_of``; structural only, so
+        #: it is shared by every same-pattern matrix like the rest of
+        #: the cache).
+        self._sampling_graph = None
 
     @property
     def nnz(self) -> int:

@@ -1,13 +1,22 @@
-"""Full-batch training stack: losses, optimisers, trainer, metrics.
+"""Training stack: losses, optimisers, trainers, metrics.
 
 The paper evaluates *full-batch* training (a forward pass followed by a
 backward pass over the whole graph, per iteration); this package
 provides the loss bootstraps of Eq. (4), classic first-order optimisers
-applying the Step-6 update rule, and a trainer driving the loop.
+applying the Step-6 update rule, and a trainer driving the loop. For
+graphs beyond the full-batch memory ceiling,
+:mod:`repro.training.minibatch` drives the same models over sampled
+layered blocks instead (optionally pipelined across fabric ranks).
 """
 
 from repro.training.loss import MSELoss, SoftmaxCrossEntropyLoss
 from repro.training.metrics import accuracy, f1_macro
+from repro.training.minibatch import (
+    MinibatchResult,
+    MinibatchTrainer,
+    minibatch_train_pipelined,
+    train_step,
+)
 from repro.training.optim import SGD, Adam, Optimizer
 from repro.training.trainer import TrainResult, Trainer
 
@@ -19,6 +28,10 @@ __all__ = [
     "Adam",
     "Trainer",
     "TrainResult",
+    "MinibatchTrainer",
+    "MinibatchResult",
+    "minibatch_train_pipelined",
+    "train_step",
     "accuracy",
     "f1_macro",
 ]

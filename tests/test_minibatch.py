@@ -1,0 +1,305 @@
+"""Sampled mini-batch training: parity, learning, and validation.
+
+The load-bearing contract is *bit-identity*: with full fan-outs and one
+batch covering every vertex, :class:`MinibatchTrainer` must reproduce
+the full-batch :class:`Trainer` loss curve and final weights bit for
+bit, for every A-GNN and for the fused ``DagLayer`` path — sampling may
+only ever *remove* edges, never reorder or recompute what remains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fusion.layer import DagLayer
+from repro.graphs import synthetic_classification
+from repro.models import build_model
+from repro.models.base import GnnModel
+from repro.models.gat import MultiHeadGATLayer
+from repro.training import (
+    SGD,
+    MinibatchTrainer,
+    SoftmaxCrossEntropyLoss,
+    Trainer,
+)
+from repro.util.rng import SEED_ENV_VAR, repro_seed_default
+
+PARITY_MODELS = ["VA", "AGNN", "GAT"]
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return synthetic_classification(n=80, feature_dim=6, seed=3)
+
+
+@pytest.fixture(scope="module")
+def features(problem):
+    # Scaled features + clip_norm keep VA's unnormalised scores finite.
+    return (0.1 * problem.features).astype(np.float64)
+
+
+def _ingredients(name, problem, num_layers=2):
+    model = build_model(
+        name, 6, 8, problem.num_classes, num_layers=num_layers, seed=5,
+        dtype=np.float64,
+    )
+    return model, SoftmaxCrossEntropyLoss(), SGD(0.01, clip_norm=1.0)
+
+
+class TestFullFanoutBitParity:
+    @pytest.mark.parametrize("name", PARITY_MODELS)
+    def test_losses_and_weights_bit_match_full_batch(
+        self, problem, features, name
+    ):
+        a = problem.adjacency.astype(np.float64)
+        n = a.shape[0]
+        full_model, loss, opt = _ingredients(name, problem)
+        reference = Trainer(full_model, loss, opt).fit(
+            a, features, problem.labels, epochs=3
+        )
+        samp_model, loss, opt = _ingredients(name, problem)
+        trainer = MinibatchTrainer(
+            samp_model, loss, opt, fanouts=(None, None), batch_size=n,
+            shuffle=False, seed=0,
+        )
+        result = trainer.fit(
+            a, features, problem.labels, epochs=3, full_eval=False
+        )
+        # Same arithmetic, same order: equality to the last bit.
+        assert result.losses == reference.losses
+        assert result.batch_losses == reference.losses  # one batch/epoch
+        out_full = full_model.forward(a, features, training=False)
+        out_samp = samp_model.forward(a, features, training=False)
+        assert np.array_equal(out_full, out_samp)  # weights identical
+        assert all(np.isfinite(result.losses))
+
+    def test_dag_fused_parity(self, problem, features):
+        a = problem.adjacency.astype(np.float64)
+        c = problem.num_classes
+
+        def dag_model():
+            return GnnModel([
+                DagLayer("gat", 6, 8, seed=0, fused=True, dtype=np.float64),
+                DagLayer("gat", 8, c, seed=1, fused=True,
+                         activation="identity", dtype=np.float64),
+            ])
+
+        full = dag_model()
+        reference = Trainer(
+            full, SoftmaxCrossEntropyLoss(), SGD(0.01)
+        ).fit(a, features, problem.labels, epochs=3)
+        sampled = dag_model()
+        trainer = MinibatchTrainer(
+            sampled, SoftmaxCrossEntropyLoss(), SGD(0.01),
+            fanouts=(None, None), batch_size=a.shape[0], shuffle=False,
+            seed=0,
+        )
+        result = trainer.fit(
+            a, features, problem.labels, epochs=3, full_eval=False
+        )
+        assert result.losses == reference.losses
+        assert np.array_equal(
+            full.forward(a, features, training=False),
+            sampled.forward(a, features, training=False),
+        )
+
+    def test_predict_subset_matches_full_forward_rows(
+        self, problem, features
+    ):
+        a = problem.adjacency.astype(np.float64)
+        model, loss, opt = _ingredients("GAT", problem)
+        trainer = MinibatchTrainer(
+            model, loss, opt, fanouts=(None, None), batch_size=16
+        )
+        targets = np.arange(0, a.shape[0], 3)
+        out = trainer.predict(a, features, targets)
+        full = model.forward(a, features, training=False)
+        # The ego-graph serving path: rows for a target subset equal the
+        # full forward's rows exactly at full fan-out.
+        assert np.array_equal(out, full[targets])
+
+
+class TestSampledTraining:
+    def test_gat_learns_on_sampled_batches(self, problem):
+        h = problem.features.astype(np.float64)
+        model = build_model(
+            "GAT", 6, 8, problem.num_classes, num_layers=2, seed=1,
+            dtype=np.float64,
+        )
+        trainer = MinibatchTrainer(
+            model, SoftmaxCrossEntropyLoss(), SGD(0.1), fanouts=(5, 5),
+            batch_size=32, seed=4,
+        )
+        result = trainer.fit(
+            problem.adjacency.astype(np.float64), h, problem.labels,
+            epochs=8, targets=problem.train_mask,
+            val_mask=problem.val_mask,
+        )
+        assert all(np.isfinite(result.losses))
+        assert result.losses[-1] < result.losses[0]
+        assert len(result.train_accuracies) == 8
+        assert len(result.val_accuracies) == 8
+        assert result.train_accuracies[-1] > 0.3  # above 1/4 chance
+
+    def test_multi_head_layers_train_on_blocks(self, problem, features):
+        a = problem.adjacency.astype(np.float64)
+        c = problem.num_classes
+        model = GnnModel([
+            MultiHeadGATLayer(6, 8, heads=4, seed=0, dtype=np.float64),
+            MultiHeadGATLayer(32, c, heads=1, seed=1, dtype=np.float64),
+        ])
+        trainer = MinibatchTrainer(
+            model, SoftmaxCrossEntropyLoss(), SGD(0.05), fanouts=(3, 3),
+            batch_size=48, seed=2,
+        )
+        result = trainer.fit(
+            a, features, problem.labels, epochs=2, full_eval=False
+        )
+        assert all(np.isfinite(result.losses))
+        assert result.sampled_edges > 0
+
+    def test_result_bookkeeping(self, problem, features):
+        a = problem.adjacency.astype(np.float64)
+        model, loss, opt = _ingredients("AGNN", problem)
+        trainer = MinibatchTrainer(
+            model, loss, opt, fanouts=(4, 4), batch_size=32, seed=0
+        )
+        result = trainer.fit(
+            a, features, problem.labels, epochs=3, full_eval=False
+        )
+        batches_per_epoch = -(-a.shape[0] // 32)
+        assert len(result.batch_losses) == 3 * batches_per_epoch
+        assert len(result.losses) == 3
+        for epoch in range(3):
+            chunk = result.batch_losses[
+                epoch * batches_per_epoch : (epoch + 1) * batches_per_epoch
+            ]
+            assert result.losses[epoch] == pytest.approx(
+                sum(chunk) / len(chunk)
+            )
+
+    def test_boolean_target_mask(self, problem, features):
+        a = problem.adjacency.astype(np.float64)
+        model, loss, opt = _ingredients("VA", problem)
+        trainer = MinibatchTrainer(
+            model, loss, opt, fanouts=(3, 3), batch_size=8, seed=0
+        )
+        result = trainer.fit(
+            a, features, problem.labels, epochs=1,
+            targets=problem.train_mask, full_eval=False,
+        )
+        labelled = int(problem.train_mask.sum())
+        assert len(result.batch_losses) == -(-labelled // 8)
+
+    def test_evaluate_runs_inference_mode(self, problem, features):
+        a = problem.adjacency.astype(np.float64)
+        model, loss, opt = _ingredients("GAT", problem)
+        trainer = MinibatchTrainer(
+            model, loss, opt, fanouts=(3, 3), batch_size=16
+        )
+        score = trainer.evaluate(
+            a, features, problem.labels, problem.test_mask
+        )
+        assert 0.0 <= score <= 1.0
+
+
+class TestValidation:
+    def test_fanouts_must_match_depth(self, problem):
+        model, loss, opt = _ingredients("GAT", problem)
+        with pytest.raises(ValueError, match="fan-outs"):
+            MinibatchTrainer(model, loss, opt, fanouts=(4,))
+
+    def test_negative_fanout_rejected(self, problem):
+        model, loss, opt = _ingredients("GAT", problem)
+        with pytest.raises(ValueError, match="fan-outs"):
+            MinibatchTrainer(model, loss, opt, fanouts=(4, -1))
+
+    def test_batch_size_must_be_positive(self, problem):
+        model, loss, opt = _ingredients("GAT", problem)
+        with pytest.raises(ValueError, match="batch_size"):
+            MinibatchTrainer(model, loss, opt, fanouts=(4, 4), batch_size=0)
+
+    def test_masked_loss_rejected(self, problem):
+        model, _, opt = _ingredients("GAT", problem)
+        masked = SoftmaxCrossEntropyLoss(problem.train_mask)
+        with pytest.raises(ValueError, match="unmasked"):
+            MinibatchTrainer(model, masked, opt, fanouts=(4, 4))
+
+    def test_wrong_length_boolean_mask_rejected(self, problem, features):
+        a = problem.adjacency.astype(np.float64)
+        model, loss, opt = _ingredients("GAT", problem)
+        trainer = MinibatchTrainer(model, loss, opt, fanouts=(4, 4))
+        with pytest.raises(ValueError, match="length"):
+            trainer.fit(
+                a, features, problem.labels,
+                targets=np.ones(3, dtype=bool), full_eval=False,
+            )
+
+    def test_feature_row_mismatch_rejected(self, problem, features):
+        a = problem.adjacency.astype(np.float64)
+        model, loss, opt = _ingredients("GAT", problem)
+        trainer = MinibatchTrainer(
+            model, loss, opt, fanouts=(None, None), batch_size=80
+        )
+        from repro.tensor.sampling_graph import sample_blocks
+        from repro.training.minibatch import forward_blocks
+
+        blocks = sample_blocks(
+            a, np.arange(a.shape[0]), (None, None),
+            np.random.default_rng(0),
+        )
+        with pytest.raises(ValueError, match="source set"):
+            forward_blocks(model, blocks, features[:-1])
+        with pytest.raises(ValueError, match="blocks"):
+            forward_blocks(model, blocks[:1], features)
+        del trainer
+
+
+class TestSeedEnv:
+    def test_default_seed_comes_from_env(self, problem, monkeypatch):
+        model, loss, opt = _ingredients("GAT", problem)
+        monkeypatch.setenv(SEED_ENV_VAR, "7")
+        trainer = MinibatchTrainer(model, loss, opt, fanouts=(4, 4))
+        assert trainer.seed == 7
+
+    def test_explicit_seed_beats_env(self, problem, monkeypatch):
+        model, loss, opt = _ingredients("GAT", problem)
+        monkeypatch.setenv(SEED_ENV_VAR, "7")
+        trainer = MinibatchTrainer(
+            model, loss, opt, fanouts=(4, 4), seed=11
+        )
+        assert trainer.seed == 11
+
+    def test_unset_and_empty_fall_back(self, monkeypatch):
+        monkeypatch.delenv(SEED_ENV_VAR, raising=False)
+        assert repro_seed_default() == 0
+        assert repro_seed_default(fallback=9) == 9
+        monkeypatch.setenv(SEED_ENV_VAR, "  ")
+        assert repro_seed_default(fallback=9) == 9
+
+    def test_whitespace_tolerant_integer(self, monkeypatch):
+        monkeypatch.setenv(SEED_ENV_VAR, " 42 ")
+        assert repro_seed_default() == 42
+
+    def test_invalid_value_raises(self, problem, monkeypatch):
+        monkeypatch.setenv(SEED_ENV_VAR, "not-a-seed")
+        with pytest.raises(ValueError, match="REPRO_SEED"):
+            repro_seed_default()
+        model, loss, opt = _ingredients("GAT", problem)
+        with pytest.raises(ValueError, match="REPRO_SEED"):
+            MinibatchTrainer(model, loss, opt, fanouts=(4, 4))
+
+    def test_same_seed_same_curve(self, problem, features):
+        a = problem.adjacency.astype(np.float64)
+        curves = []
+        for _ in range(2):
+            model, loss, opt = _ingredients("GAT", problem)
+            trainer = MinibatchTrainer(
+                model, loss, opt, fanouts=(3, 3), batch_size=16, seed=13
+            )
+            result = trainer.fit(
+                a, features, problem.labels, epochs=2, full_eval=False
+            )
+            curves.append(result.batch_losses)
+        assert curves[0] == curves[1]

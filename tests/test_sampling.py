@@ -1,0 +1,370 @@
+"""Sampling substrate: seeded fan-out sampling and layered blocks.
+
+Covers the edge cases the mini-batch engine must survive — zero-degree
+seeds, fan-outs exceeding the degree (no replacement, so no duplicate
+edges), entirely empty hop blocks flowing through the fused megakernel —
+plus a hypothesis property test that the local-id compaction round-trips
+to the global adjacency exactly (topology *and* edge values).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fusion.layer import DagLayer
+from repro.models.base import GnnModel
+from repro.tensor.csr import CSRMatrix
+from repro.tensor.sampling_graph import (
+    sample_blocks,
+    sample_one_hop,
+    sampling_graph_of,
+)
+from repro.training.minibatch import backward_blocks, forward_blocks
+from tests.conftest import random_csr
+
+
+@pytest.fixture(scope="module")
+def holey_adjacency() -> CSRMatrix:
+    """A 24-vertex square CSR with several zero-degree rows."""
+    rng = np.random.default_rng(11)
+    dense = (rng.random((24, 24)) < 0.25).astype(np.float64)
+    dense *= rng.normal(1.0, 0.3, (24, 24))
+    dense[[3, 10, 23], :] = 0.0  # isolated as destinations
+    return CSRMatrix.from_dense(dense)
+
+
+class TestSamplingGraph:
+    def test_interned_on_the_pattern(self, small_adjacency):
+        g1 = sampling_graph_of(small_adjacency)
+        g2 = sampling_graph_of(small_adjacency)
+        assert g1 is g2
+        # Index arrays are shared with the pattern, not copied.
+        assert g1.indptr is small_adjacency.structure.indptr
+        assert g1.indices is small_adjacency.structure.indices
+
+    def test_shared_across_matrices_with_same_pattern(self, small_adjacency):
+        other = small_adjacency.with_data(
+            np.arange(small_adjacency.nnz, dtype=np.float64)
+        )
+        assert sampling_graph_of(other) is sampling_graph_of(small_adjacency)
+
+    def test_rejects_rectangular_patterns(self, rng):
+        rect = random_csr(rng, 6, 9)
+        with pytest.raises(ValueError, match="square"):
+            sampling_graph_of(rect)
+
+    def test_degrees(self, small_adjacency):
+        graph = sampling_graph_of(small_adjacency)
+        seeds = np.array([0, 7, 13], dtype=np.int64)
+        expect = (
+            small_adjacency.indptr[seeds + 1] - small_adjacency.indptr[seeds]
+        )
+        assert np.array_equal(graph.degrees(seeds), expect)
+
+    def test_seed_out_of_range(self, small_adjacency):
+        graph = sampling_graph_of(small_adjacency)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="out of range"):
+            graph.sample_edges(np.array([graph.num_nodes]), 2, rng)
+        with pytest.raises(ValueError, match="out of range"):
+            graph.sample_edges(np.array([-1]), 2, rng)
+
+
+class TestSampleEdges:
+    def test_counts_are_degree_capped(self, small_adjacency):
+        graph = sampling_graph_of(small_adjacency)
+        seeds = np.arange(graph.num_nodes, dtype=np.int64)
+        eids, counts = graph.sample_edges(seeds, 3, np.random.default_rng(1))
+        assert np.array_equal(counts, np.minimum(graph.degrees(seeds), 3))
+        assert eids.shape[0] == int(counts.sum())
+
+    def test_no_duplicates_within_a_seed(self, small_adjacency):
+        # Without replacement: every seed's segment holds distinct,
+        # ascending edge ids drawn from that seed's own CSR slice.
+        graph = sampling_graph_of(small_adjacency)
+        seeds = np.arange(graph.num_nodes, dtype=np.int64)
+        eids, counts = graph.sample_edges(seeds, 4, np.random.default_rng(2))
+        offset = 0
+        for seed, count in zip(seeds, counts):
+            segment = eids[offset : offset + count]
+            offset += count
+            assert np.all(np.diff(segment) > 0)  # unique and ascending
+            assert np.all(segment >= graph.indptr[seed])
+            assert np.all(segment < graph.indptr[seed + 1])
+
+    def test_fanout_above_degree_takes_full_slice(self, small_adjacency):
+        graph = sampling_graph_of(small_adjacency)
+        seeds = np.arange(graph.num_nodes, dtype=np.int64)
+        degrees = graph.degrees(seeds)
+        huge = int(degrees.max()) + 5
+        rng = np.random.default_rng(3)
+        state_before = rng.bit_generator.state
+        eids, counts = graph.sample_edges(seeds, huge, rng)
+        assert np.array_equal(counts, degrees)
+        assert np.array_equal(
+            eids, np.arange(small_adjacency.nnz, dtype=np.int64)
+        )
+        # Full-neighbour sampling never consults the RNG, so a stream
+        # shared across hops stays aligned regardless of fan-out slack.
+        assert rng.bit_generator.state == state_before
+
+    def test_fanout_none_is_unlimited(self, small_adjacency):
+        graph = sampling_graph_of(small_adjacency)
+        seeds = np.arange(graph.num_nodes, dtype=np.int64)
+        eids, counts = graph.sample_edges(
+            seeds, None, np.random.default_rng(4)
+        )
+        assert np.array_equal(counts, graph.degrees(seeds))
+        assert eids.shape[0] == small_adjacency.nnz
+
+    def test_zero_fanout(self, small_adjacency):
+        graph = sampling_graph_of(small_adjacency)
+        eids, counts = graph.sample_edges(
+            np.array([0, 1], dtype=np.int64), 0, np.random.default_rng(5)
+        )
+        assert eids.shape == (0,)
+        assert np.array_equal(counts, [0, 0])
+
+    def test_negative_fanout_rejected(self, small_adjacency):
+        graph = sampling_graph_of(small_adjacency)
+        with pytest.raises(ValueError, match="fanout"):
+            graph.sample_edges(
+                np.array([0], dtype=np.int64), -1, np.random.default_rng(6)
+            )
+
+    def test_seeded_streams_reproduce(self, small_adjacency):
+        graph = sampling_graph_of(small_adjacency)
+        seeds = np.arange(graph.num_nodes, dtype=np.int64)
+        a1, _ = graph.sample_edges(seeds, 2, np.random.default_rng(7))
+        a2, _ = graph.sample_edges(seeds, 2, np.random.default_rng(7))
+        b, _ = graph.sample_edges(seeds, 2, np.random.default_rng(8))
+        assert np.array_equal(a1, a2)
+        assert not np.array_equal(a1, b)  # different seed, different draw
+
+    def test_every_neighbour_reachable(self, small_adjacency):
+        # Sub-fan-out draws are uniform subsets: across repeated draws
+        # every neighbour of a high-degree seed eventually appears.
+        graph = sampling_graph_of(small_adjacency)
+        seed = int(np.argmax(graph.degrees(np.arange(graph.num_nodes))))
+        lo, hi = graph.indptr[seed], graph.indptr[seed + 1]
+        rng = np.random.default_rng(9)
+        seen: set[int] = set()
+        for _ in range(60):
+            eids, _ = graph.sample_edges(np.array([seed]), 2, rng)
+            seen.update(int(e) for e in eids)
+        assert seen == set(range(int(lo), int(hi)))
+
+
+class TestSampleOneHop:
+    def test_rejects_unsorted_or_duplicate_dst(self, small_adjacency):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="strictly increasing"):
+            sample_one_hop(small_adjacency, np.array([3, 1]), 2, rng)
+        with pytest.raises(ValueError, match="strictly increasing"):
+            sample_one_hop(small_adjacency, np.array([2, 2]), 2, rng)
+
+    def test_zero_degree_seeds(self, holey_adjacency):
+        dst = np.array([3, 10, 23], dtype=np.int64)
+        block = sample_one_hop(
+            holey_adjacency, dst, 4, np.random.default_rng(1)
+        )
+        # Isolated destinations still appear in the source set (their
+        # own features flow forward); their rows are simply empty.
+        assert np.array_equal(block.src_nodes, dst)
+        assert np.array_equal(block.dst_nodes, dst)
+        assert block.matrix.nnz == 0
+        assert block.sampled_edges == 0
+
+    def test_full_fanout_all_vertices_is_the_adjacency(self, small_adjacency):
+        n = small_adjacency.shape[0]
+        block = sample_one_hop(
+            small_adjacency,
+            np.arange(n, dtype=np.int64),
+            None,
+            np.random.default_rng(2),
+        )
+        # The bit-identity anchor: compaction is the identity map and
+        # the block *is* the adjacency, arrays equal element for element.
+        assert np.array_equal(block.src_nodes, np.arange(n))
+        assert np.array_equal(block.dst_positions, np.arange(n))
+        assert np.array_equal(block.matrix.indptr, small_adjacency.indptr)
+        assert np.array_equal(block.matrix.indices, small_adjacency.indices)
+        assert np.array_equal(block.matrix.data, small_adjacency.data)
+
+    def test_edge_values_travel_with_the_topology(self, small_adjacency):
+        weighted = small_adjacency.with_data(
+            np.arange(1.0, small_adjacency.nnz + 1, dtype=np.float64)
+        )
+        dst = np.arange(0, weighted.shape[0], 5, dtype=np.int64)
+        block = sample_one_hop(weighted, dst, 3, np.random.default_rng(3))
+        m = block.matrix
+        for r, g in zip(block.dst_positions, block.dst_nodes):
+            lo, hi = m.indptr[r], m.indptr[r + 1]
+            cols = block.src_nodes[m.indices[lo:hi]]
+            row_cols = weighted.indices[
+                weighted.indptr[g] : weighted.indptr[g + 1]
+            ]
+            row_vals = weighted.data[
+                weighted.indptr[g] : weighted.indptr[g + 1]
+            ]
+            pos = np.searchsorted(row_cols, cols)
+            assert np.array_equal(row_cols[pos], cols)
+            assert np.array_equal(m.data[lo:hi], row_vals[pos])
+
+
+class TestSampleBlocks:
+    def test_layer_contract(self, small_adjacency):
+        blocks = sample_blocks(
+            small_adjacency,
+            np.array([4, 9, 40]),
+            (3, 2),
+            np.random.default_rng(0),
+        )
+        assert len(blocks) == 2
+        assert np.array_equal(blocks[1].dst_nodes, [4, 9, 40])
+        # Inter-layer contract: each hop's destinations are exactly the
+        # next hop's sources (same values, the trainer chains on it).
+        assert np.array_equal(blocks[0].dst_nodes, blocks[1].src_nodes)
+
+    def test_targets_deduplicated_and_sorted(self, small_adjacency):
+        blocks = sample_blocks(
+            small_adjacency,
+            np.array([12, 4, 12, 4, 30]),
+            (2,),
+            np.random.default_rng(1),
+        )
+        assert np.array_equal(blocks[-1].dst_nodes, [4, 12, 30])
+
+    def test_empty_target_set(self, small_adjacency):
+        blocks = sample_blocks(
+            small_adjacency, np.array([], dtype=np.int64), (2, 2),
+            np.random.default_rng(2),
+        )
+        assert [b.num_src for b in blocks] == [0, 0]
+        assert [b.matrix.shape for b in blocks] == [(0, 0), (0, 0)]
+
+    def test_needs_at_least_one_fanout(self, small_adjacency):
+        with pytest.raises(ValueError, match="at least one"):
+            sample_blocks(
+                small_adjacency, np.array([0]), (), np.random.default_rng(3)
+            )
+
+    def test_one_stream_reproduces_the_whole_batch(self, small_adjacency):
+        targets = np.array([1, 2, 3, 20, 21])
+        first = sample_blocks(
+            small_adjacency, targets, (2, 3), np.random.default_rng(6)
+        )
+        second = sample_blocks(
+            small_adjacency, targets, (2, 3), np.random.default_rng(6)
+        )
+        for b1, b2 in zip(first, second):
+            assert np.array_equal(b1.matrix.indptr, b2.matrix.indptr)
+            assert np.array_equal(b1.matrix.indices, b2.matrix.indices)
+            assert np.array_equal(b1.src_nodes, b2.src_nodes)
+
+    def test_payload_round_trip(self, small_adjacency):
+        from repro.tensor.sampling_graph import Block
+
+        (block,) = sample_blocks(
+            small_adjacency, np.array([0, 5]), (3,), np.random.default_rng(7)
+        )
+        clone = Block.from_payload(block.to_payload())
+        assert np.array_equal(clone.matrix.indptr, block.matrix.indptr)
+        assert np.array_equal(clone.matrix.indices, block.matrix.indices)
+        assert np.array_equal(clone.matrix.data, block.matrix.data)
+        assert np.array_equal(clone.src_nodes, block.src_nodes)
+        assert np.array_equal(clone.dst_positions, block.dst_positions)
+        assert clone.sampled_edges == block.sampled_edges
+
+
+class TestEmptyBlocksThroughMegakernel:
+    """Zero-edge hop blocks must survive the fused attention chain."""
+
+    def test_isolated_seeds_forward_and_backward(self, holey_adjacency):
+        targets = np.array([3, 10, 23], dtype=np.int64)
+        blocks = sample_blocks(
+            holey_adjacency, targets, (4, 4), np.random.default_rng(0)
+        )
+        assert all(b.matrix.nnz == 0 for b in blocks)
+        model = GnnModel([
+            DagLayer("gat", 5, 6, seed=0, fused=True, dtype=np.float64),
+            DagLayer("gat", 6, 4, seed=1, fused=True,
+                     activation="identity", dtype=np.float64),
+        ])
+        h0 = np.random.default_rng(1).normal(size=(blocks[0].num_src, 5))
+        out, caches = forward_blocks(model, blocks, h0)
+        assert out.shape == (3, 4)
+        assert np.all(np.isfinite(out))
+        grads = backward_blocks(
+            model, blocks, caches, np.ones_like(out)
+        )
+        for layer_grads in grads:
+            for grad in layer_grads.values():
+                assert np.all(np.isfinite(grad))
+
+    def test_zero_fanout_blocks_run_fused(self, small_adjacency):
+        # fanout=0 keeps only the (empty) self rows: the degenerate but
+        # legal "no neighbours at all" configuration.
+        blocks = sample_blocks(
+            small_adjacency.astype(np.float64),
+            np.array([0, 1, 2]), (0,), np.random.default_rng(0),
+        )
+        model = GnnModel(
+            [DagLayer("agnn", 4, 4, seed=0, fused=True, dtype=np.float64)]
+        )
+        h0 = np.random.default_rng(2).normal(size=(blocks[0].num_src, 4))
+        out, _ = forward_blocks(model, blocks, h0)
+        assert out.shape == (3, 4)
+        assert np.all(np.isfinite(out))
+
+
+class TestCompactionProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n=st.integers(4, 32),
+        fanout=st.integers(1, 5),
+        layers=st.integers(1, 3),
+    )
+    def test_round_trip_to_global_adjacency(self, seed, n, fanout, layers):
+        """Every block edge maps back to a real global edge (with its
+        value), counts honour ``min(degree, fanout)``, the compaction
+        map is monotone, and non-destination rows are empty."""
+        rng = np.random.default_rng(seed)
+        dense = (rng.random((n, n)) < 0.25).astype(np.float64)
+        dense *= rng.normal(1.0, 0.4, (n, n))
+        a = CSRMatrix.from_dense(dense)
+        targets = rng.choice(n, size=int(rng.integers(1, n + 1)),
+                             replace=False)
+        blocks = sample_blocks(a, targets, (fanout,) * layers, rng)
+        assert len(blocks) == layers
+        dst_expect = np.unique(targets)
+        for block in reversed(blocks):
+            assert np.array_equal(block.dst_nodes, dst_expect)
+            assert np.all(np.diff(block.src_nodes) > 0)  # monotone map
+            m = block.matrix
+            assert m.shape == (block.num_src, block.num_src)
+            for r, g_dst in zip(block.dst_positions, block.dst_nodes):
+                lo, hi = m.indptr[r], m.indptr[r + 1]
+                local = m.indices[lo:hi]
+                global_src = block.src_nodes[local]
+                # local -> global -> local is the identity
+                assert np.array_equal(
+                    np.searchsorted(block.src_nodes, global_src), local
+                )
+                row = slice(a.indptr[g_dst], a.indptr[g_dst + 1])
+                row_cols = a.indices[row]
+                assert hi - lo == min(row_cols.shape[0], fanout)
+                pos = np.searchsorted(row_cols, global_src)
+                assert np.array_equal(row_cols[pos], global_src)
+                assert np.array_equal(m.data[lo:hi], a.data[row][pos])
+            non_dst = np.setdiff1d(
+                np.arange(block.num_src), block.dst_positions
+            )
+            assert np.all(
+                m.indptr[non_dst + 1] - m.indptr[non_dst] == 0
+            )
+            dst_expect = block.src_nodes

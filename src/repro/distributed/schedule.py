@@ -48,6 +48,7 @@ from repro.distributed.ops import (
     row_bcast_from_diagonal,
     transpose_exchange,
 )
+from repro.obs.tracer import tracer
 from repro.runtime.grid import ProcessGrid
 
 __all__ = [
@@ -171,27 +172,47 @@ class CommSchedule:
             if handle is not None:
                 ctx[key] = handle.wait()
 
+        # Each step gets a span carrying its phase label and the
+        # wait_s delta it incurred (resolves + blocking transfers), so
+        # the timeline ties back to CommStats.wait_by_phase; the
+        # communicator's own wait slices nest inside the step span.
+        t = tracer()
+        stats = grid.comm.stats
         for step in self.steps:
             if isinstance(step, Transfer):
-                for key in (*step.needs, step.src):
-                    resolve(key)
-                value_or_handle = self._execute_transfer(
-                    step, grid, sequencer, ctx, overlap
-                )
+                with t.span(
+                    "sched.transfer", sched=self.name, kind=step.kind,
+                    out=step.out, phase=step.phase,
+                ) as sp:
+                    wait0 = stats.wait_s
+                    for key in (*step.needs, step.src):
+                        resolve(key)
+                    value_or_handle = self._execute_transfer(
+                        step, grid, sequencer, ctx, overlap
+                    )
+                    sp.annotate(wait_s=stats.wait_s - wait0)
                 if overlap and step.kind in _ASYNC_KINDS:
                     pending[step.out] = value_or_handle
                 else:
                     ctx[step.out] = value_or_handle
             else:
-                for key in step.needs:
-                    resolve(key)
-                if step.phase is not None:
-                    grid.comm.stats.set_phase(step.phase)
-                result = step.fn(ctx)
+                with t.span(
+                    "sched.compute", sched=self.name,
+                    out=step.out or "", phase=step.phase,
+                ) as sp:
+                    wait0 = stats.wait_s
+                    for key in step.needs:
+                        resolve(key)
+                    if step.phase is not None:
+                        stats.set_phase(step.phase)
+                    result = step.fn(ctx)
+                    sp.annotate(wait_s=stats.wait_s - wait0)
                 if step.out is not None:
                     ctx[step.out] = result
-        for key in list(pending):
-            resolve(key)
+        if pending:
+            with t.span("sched.drain", sched=self.name):
+                for key in list(pending):
+                    resolve(key)
         return ctx
 
     def _execute_transfer(

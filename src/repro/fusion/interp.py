@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.fusion.dag import OpDag
 from repro.fusion.fuse import FusedProgram, fuse, match_attention_chain
+from repro.obs.tracer import tracer
 from repro.fusion.sparsity import Sparsity
 from repro.tensor.csr import CSRMatrix
 from repro.tensor.kernels import spmm
@@ -316,6 +317,17 @@ class _Engine:
                 f"virtual node %{nid} materialisation blocked in "
                 f"{self.mode} mode"
             )
+        t = tracer()
+        if t.enabled:
+            with t.span("ir." + node.op, node=nid):
+                out = self._dense_op(node)
+        else:
+            out = self._dense_op(node)
+        self._dense[nid] = out
+        return out
+
+    def _dense_op(self, node) -> np.ndarray:
+        """One dense IR op (the interpreter's dispatch, span-wrapped)."""
         op = node.op
         if op == "input":
             value = self.inputs[node.name]
@@ -372,7 +384,6 @@ class _Engine:
             out = self._replicate_dense(node)
         else:  # pragma: no cover
             raise ValueError(f"cannot evaluate op {op!r}")
-        self._dense[nid] = out
         return out
 
     def _as_csr(self, nid: int) -> CSRMatrix | None:
@@ -425,19 +436,26 @@ class _Engine:
             raise RuntimeError("no sparse pattern bound")
         rows = self.pattern.expand_rows()
         cols = self.pattern.indices
-        if self.mode == "fused":
-            out = self._eval_at(nid, rows, cols)
-        elif self.mode == "dense":
-            node = self.dag.nodes[nid]
-            if node.op == "input":
-                out = self.inputs[node.name].data
-            else:
-                dense = self._dense_of_sparse(nid)
-                out = dense[rows, cols]
-        else:  # tiled
-            out = self._eval_tiled(nid, rows, cols)
+        t = tracer()
+        if t.enabled:
+            with t.span("ir.edge." + self.dag.nodes[nid].op, node=nid):
+                out = self._edge_op(nid, rows, cols)
+        else:
+            out = self._edge_op(nid, rows, cols)
         self._edge[nid] = out
         return out
+
+    def _edge_op(self, nid: int, rows: np.ndarray,
+                 cols: np.ndarray) -> np.ndarray:
+        """Evaluate a SPARSE node's stored values (span-wrapped above)."""
+        if self.mode == "fused":
+            return self._eval_at(nid, rows, cols)
+        if self.mode == "dense":
+            node = self.dag.nodes[nid]
+            if node.op == "input":
+                return self.inputs[node.name].data
+            return self._dense_of_sparse(nid)[rows, cols]
+        return self._eval_tiled(nid, rows, cols)
 
     def _dense_of_sparse(self, nid: int) -> np.ndarray:
         """Dense-oracle evaluation of a SPARSE node (dense mode only).

@@ -32,6 +32,7 @@ from repro.fusion.autodiff import GradProgram, build_vjp
 from repro.fusion.interp import ProgramRunner
 from repro.fusion.models import agnn_layer_dag, gat_layer_dag, va_layer_dag
 from repro.models.base import GnnLayer, glorot
+from repro.obs.tracer import tracer
 from repro.tensor.csr import CSRMatrix
 from repro.util.counters import FlopCounter, null_counter
 from repro.util.rng import make_rng
@@ -135,12 +136,15 @@ class DagLayer(GnnLayer):
         counter: FlopCounter = null_counter(),
         training: bool = True,
     ) -> tuple[np.ndarray, _DagCache | None]:
-        runner = ProgramRunner(
-            self.program.dag, self._bindings(a, h), mode=self.mode,
-            fused=self.fused, counter=counter,
-        )
-        z = runner.run()
-        h_next = self.activation.fn(z)
+        with tracer().span(
+            "daglayer.forward", counter=counter, model=self.model,
+        ):
+            runner = ProgramRunner(
+                self.program.dag, self._bindings(a, h), mode=self.mode,
+                fused=self.fused, counter=counter,
+            )
+            z = runner.run()
+            h_next = self.activation.fn(z)
         if not training:
             return h_next, None
         return h_next, _DagCache(runner=runner, z=z)
@@ -152,14 +156,17 @@ class DagLayer(GnnLayer):
         g: np.ndarray,
         counter: FlopCounter = null_counter(),
     ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
-        runner = cache.runner
-        runner.set_counter(counter)
-        runner.bind(self.program.seed, np.asarray(g))
-        grads = {
-            name: runner.run(f"grad:{name}")
-            for name in ("W",) + self._extra
-        }
-        dh = runner.run("grad:H")
+        with tracer().span(
+            "daglayer.backward", counter=counter, model=self.model,
+        ):
+            runner = cache.runner
+            runner.set_counter(counter)
+            runner.bind(self.program.seed, np.asarray(g))
+            grads = {
+                name: runner.run(f"grad:{name}")
+                for name in ("W",) + self._extra
+            }
+            dh = runner.run("grad:H")
         renamed = {"weight": grads.pop("W"), **grads}
         return dh, renamed
 

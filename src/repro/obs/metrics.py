@@ -1,0 +1,185 @@
+"""Counter/gauge/histogram registry with exact quantiles.
+
+The third leg of the observability stack (spans show *when*, the
+registry shows *how the distribution looks*). Histograms keep every
+observation — exact :func:`numpy.quantile` over the raw samples, not
+bucket interpolation — because the populations here (per-batch
+latencies, per-epoch losses, span durations) are thousands of points,
+not millions, and the serving-latency harness the ROADMAP plans (p50 /
+p99 under Poisson load) needs quantiles it can assert on bit-for-bit.
+
+All three metric types share the registry's flat ``snapshot()`` form so
+one JSON dump carries the whole process state::
+
+    from repro.obs import metrics
+    metrics().counter("batches").inc()
+    metrics().histogram("batch_ms").observe(3.2)
+    print(metrics().snapshot())
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "metrics"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Exact-quantile histogram over all recorded observations."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return float(sum(self.values))
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.values else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Exact ``q``-quantile (linear interpolation between samples)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.values:
+            return 0.0
+        return float(np.quantile(np.asarray(self.values), q))
+
+    def percentiles(self, *ps: float) -> dict[str, float]:
+        """Named percentile dict, e.g. ``percentiles(50, 99)``."""
+        out = {}
+        for p in ps:
+            key = f"p{p:g}".replace(".", "_")
+            out[key] = self.quantile(p / 100.0)
+        return out
+
+    def summary(self) -> dict[str, float]:
+        """count/sum/mean/min/max plus the p50/p95/p99 trio."""
+        if not self.values:
+            return {"count": 0, "sum": 0.0, "mean": 0.0,
+                    "min": 0.0, "max": 0.0, "p50": 0.0, "p95": 0.0,
+                    "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": float(min(self.values)),
+            "max": float(max(self.values)),
+            **self.percentiles(50, 95, 99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+class MetricsRegistry:
+    """Name-keyed home for counters, gauges and histograms.
+
+    Accessors are get-or-create and type-strict: asking for an
+    existing name as a different metric type raises rather than
+    silently shadowing.
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> dict[str, float | dict[str, float]]:
+        """Flat point-in-time view: scalars for counters/gauges,
+        the :meth:`Histogram.summary` dict for histograms."""
+        out: dict[str, float | dict[str, float]] = {}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Histogram):
+                out[name] = metric.summary()
+            else:
+                out[name] = metric.value
+        return out
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _REGISTRY

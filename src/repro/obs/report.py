@@ -1,0 +1,233 @@
+"""Trace-and-profile reporter: run a named case, export its timeline.
+
+Runs one of the small named training cases under span tracing and
+writes the Perfetto-loadable Chrome trace plus a flat span profile
+(JSON + CSV), printing the top-spans table and a flop reconciliation
+line — the span-boundary FlopCounter deltas must add up to exactly the
+standalone counter totals, or the tracer is lying::
+
+    REPRO_TRACE=1 PYTHONPATH=src python -m repro.obs.report \
+        --case pipeline --out-dir benchmarks/results/obs
+
+Cases:
+
+``fullbatch``
+    The full-batch :class:`~repro.training.trainer.Trainer` on a small
+    ER graph — driver-only timeline (epoch, layer, kernel spans).
+``minibatch``
+    The serial :class:`~repro.training.minibatch.MinibatchTrainer` —
+    adds per-batch sample/train_step spans.
+``pipeline``
+    The two-rank pipelined sampler/trainer split
+    (:func:`~repro.training.minibatch.minibatch_train_pipelined`) —
+    one Perfetto track per rank; sample/send spans on rank 0 interleave
+    with recv/train_step spans and wait slices on rank 1.
+
+The command refuses to run without ``REPRO_TRACE=1``: silently
+producing an empty trace would be worse than failing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.graphs import erdos_renyi
+from repro.graphs.prep import prepare_adjacency
+from repro.obs.export import (
+    format_top_spans,
+    profile_spans,
+    write_chrome_trace,
+    write_profile_csv,
+    write_profile_json,
+)
+from repro.obs.tracer import (
+    TRACE_ENV_VAR,
+    Tracer,
+    install_tracer,
+    trace_enabled_default,
+)
+from repro.util.counters import FlopCounter
+from repro.util.rng import make_rng
+
+__all__ = ["run_case", "main"]
+
+#: Small-but-not-trivial shared problem (matches the test-scale graphs).
+_CASE = {
+    "n": 256,
+    "m": 2048,
+    "k": 16,
+    "classes": 4,
+    "layers": 2,
+    "epochs": 2,
+    "batch_size": 64,
+    "seed": 7,
+}
+
+CASES = ("fullbatch", "minibatch", "pipeline")
+
+
+def _problem() -> tuple[Any, np.ndarray, np.ndarray]:
+    a = prepare_adjacency(
+        erdos_renyi(_CASE["n"], _CASE["m"], seed=_CASE["seed"]),
+        dtype=np.float64,
+    )
+    rng = make_rng(_CASE["seed"] + 1)
+    features = rng.normal(size=(_CASE["n"], _CASE["k"])).astype(np.float64)
+    labels = rng.integers(0, _CASE["classes"], size=_CASE["n"])
+    return a, features, labels
+
+
+def _run_fullbatch(model_name: str) -> tuple[list[Tracer], dict[str, Any]]:
+    from repro.models import build_model
+    from repro.training.loss import SoftmaxCrossEntropyLoss
+    from repro.training.optim import SGD
+    from repro.training.trainer import Trainer
+
+    a, features, labels = _problem()
+    model = build_model(
+        model_name, _CASE["k"], _CASE["k"], _CASE["classes"],
+        num_layers=_CASE["layers"], seed=_CASE["seed"],
+    )
+    trainer = Trainer(model, SoftmaxCrossEntropyLoss(), SGD(lr=0.01))
+    counter = FlopCounter()
+    driver = Tracer(rank=0)
+    install_tracer(driver)
+    try:
+        with driver.span("driver.run", counter=counter, case="fullbatch"):
+            result = trainer.fit(
+                a, features, labels, epochs=_CASE["epochs"], counter=counter,
+            )
+    finally:
+        install_tracer(None)
+    return [driver], {
+        "losses": result.losses,
+        "counter_flops": counter.total,
+        "span_flops": _root_flops(driver),
+    }
+
+
+def _run_minibatch(model_name: str) -> tuple[list[Tracer], dict[str, Any]]:
+    from repro.models import build_model
+    from repro.training.loss import SoftmaxCrossEntropyLoss
+    from repro.training.minibatch import MinibatchTrainer
+    from repro.training.optim import SGD
+
+    a, features, labels = _problem()
+    model = build_model(
+        model_name, _CASE["k"], _CASE["k"], _CASE["classes"],
+        num_layers=_CASE["layers"], seed=_CASE["seed"],
+    )
+    trainer = MinibatchTrainer(
+        model, SoftmaxCrossEntropyLoss(), SGD(lr=0.01),
+        fanouts=(None,) * _CASE["layers"],
+        batch_size=_CASE["batch_size"], seed=_CASE["seed"],
+    )
+    counter = FlopCounter()
+    driver = Tracer(rank=0)
+    install_tracer(driver)
+    try:
+        with driver.span("driver.run", counter=counter, case="minibatch"):
+            result = trainer.fit(
+                a, features, labels, epochs=_CASE["epochs"],
+                full_eval=False, counter=counter,
+            )
+    finally:
+        install_tracer(None)
+    return [driver], {
+        "losses": result.losses,
+        "counter_flops": counter.total,
+        "span_flops": _root_flops(driver),
+    }
+
+
+def _run_pipeline(
+    model_name: str, backend: str | None
+) -> tuple[list[Tracer], dict[str, Any]]:
+    from repro.training.minibatch import minibatch_train_pipelined
+
+    a, features, labels = _problem()
+    losses, stats = minibatch_train_pipelined(
+        model_name, a, features, labels,
+        hidden_dim=_CASE["k"], out_dim=_CASE["classes"],
+        fanouts=(None,) * _CASE["layers"], num_layers=_CASE["layers"],
+        batch_size=_CASE["batch_size"], epochs=_CASE["epochs"],
+        seed=_CASE["seed"], dtype=np.float64, backend=backend,
+    )
+    tracers = [s.tracer for s in stats.per_rank if s.tracer is not None]
+    return tracers, {
+        "losses": losses,
+        "counter_flops": sum(s.flops.total for s in stats.per_rank),
+        "span_flops": sum(_root_flops(t) for t in tracers),
+        "total_wait_s": stats.total_wait_s,
+        "wait_fraction": stats.wait_fraction,
+    }
+
+
+def _root_flops(t: Tracer) -> int:
+    """Flop delta summed over the tracer's outermost spans."""
+    return sum(s.flops for s in t.spans if s.depth == 0)
+
+
+def run_case(
+    case: str, model_name: str = "AGNN", backend: str | None = None
+) -> tuple[list[Tracer], dict[str, Any]]:
+    """Run ``case`` under tracing; returns (per-rank tracers, summary)."""
+    if case == "fullbatch":
+        return _run_fullbatch(model_name)
+    if case == "minibatch":
+        return _run_minibatch(model_name)
+    if case == "pipeline":
+        return _run_pipeline(model_name, backend)
+    raise ValueError(f"unknown case {case!r}; expected one of {CASES}")
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--case", default="pipeline", choices=CASES)
+    parser.add_argument("--model", default="AGNN")
+    parser.add_argument("--backend", default=None,
+                        choices=("thread", "process"),
+                        help="fabric backend (default: $REPRO_BACKEND)")
+    parser.add_argument("--out-dir", default="benchmarks/results/obs")
+    parser.add_argument("--limit", type=int, default=15,
+                        help="rows in the printed top-spans table")
+    args = parser.parse_args(argv)
+
+    if not trace_enabled_default():
+        sys.exit(
+            f"tracing is disabled; run with {TRACE_ENV_VAR}=1 "
+            "(this command exists to produce traces)"
+        )
+
+    tracers, summary = run_case(args.case, args.model, args.backend)
+    out_dir = Path(args.out_dir)
+    trace_path = write_chrome_trace(
+        out_dir / f"trace_{args.case}.json", tracers
+    )
+    rows = profile_spans(tracers)
+    write_profile_json(
+        out_dir / f"profile_{args.case}.json", rows,
+        extra={"case": args.case, "model": args.model, "summary": summary},
+    )
+    write_profile_csv(out_dir / f"profile_{args.case}.csv", rows)
+
+    print(format_top_spans(rows, limit=args.limit))
+    counter_flops = summary["counter_flops"]
+    span_flops = summary["span_flops"]
+    status = "OK" if counter_flops == span_flops else "MISMATCH"
+    print(
+        f"flops reconciliation: spans={span_flops} "
+        f"counters={counter_flops} [{status}]"
+    )
+    print(f"wrote {trace_path} ({len(tracers)} track(s))")
+    if counter_flops != span_flops:
+        sys.exit("span flop deltas do not reconcile with FlopCounter totals")
+
+
+if __name__ == "__main__":
+    main()

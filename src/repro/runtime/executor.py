@@ -40,6 +40,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.obs.tracer import Tracer, install_tracer, trace_enabled_default
 from repro.runtime.communicator import Communicator
 from repro.runtime.fabric import FabricTimeoutError, ThreadFabric
 from repro.runtime.stats import CommStats, RunStats
@@ -151,12 +152,27 @@ def _run_thread_spmd(
     values: list[Any] = [None] * size
     errors: list[tuple[int, BaseException]] = []
     error_lock = threading.Lock()
+    tracing = trace_enabled_default()
 
     def worker(rank: int) -> None:
         comm = Communicator(fabric, rank, all_stats[rank])
         try:
-            start = time.perf_counter()
-            values[rank] = fn(comm, **kwargs)
+            if tracing:
+                # Each rank thread gets its own tracer, installed
+                # thread-locally so nested instrumentation (kernels,
+                # schedule steps) lands on this rank's timeline; it
+                # stays reachable on the rank's CommStats afterwards.
+                rank_tracer = Tracer(rank=rank)
+                all_stats[rank].tracer = rank_tracer
+                install_tracer(rank_tracer)
+                start = time.perf_counter()
+                with rank_tracer.span(
+                    "rank.program", counter=all_stats[rank].flops
+                ):
+                    values[rank] = fn(comm, **kwargs)
+            else:
+                start = time.perf_counter()
+                values[rank] = fn(comm, **kwargs)
             all_stats[rank].wall_s = time.perf_counter() - start
         except BaseException as exc:  # noqa: BLE001 - propagated below
             with error_lock:

@@ -343,8 +343,14 @@ def _child_main(
     fn_bytes: bytes,
 ) -> None:
     """Run one rank program and report the outcome to the driver."""
+    from repro.obs.tracer import (
+        Tracer,
+        install_global_tracer,
+        trace_enabled_default,
+    )
     from repro.runtime.communicator import Communicator
     from repro.runtime.stats import CommStats
+    from repro.util.counters import event_counter
 
     fabric = ProcessFabric(
         rank, size, queues, barrier, abort_event, timeout, shm_token
@@ -352,11 +358,26 @@ def _child_main(
     stats = CommStats(rank, trace=trace)
     comm = Communicator(fabric, rank, stats)
     try:
+        # Spawned children inherit the driver's environment, so the
+        # $REPRO_TRACE gate resolves identically here. The child is
+        # single-threaded: installing process-globally is enough, and
+        # the tracer rides home pickled on this rank's CommStats.
+        if trace_enabled_default():
+            rank_tracer = Tracer(rank=rank)
+            stats.tracer = rank_tracer
+            install_global_tracer(rank_tracer)
         fn, kwargs = pickle.loads(fn_bytes)
         start = time.perf_counter()
-        value = fn(comm, **kwargs)
+        if stats.tracer is not None:
+            with stats.tracer.span("rank.program", counter=stats.flops):
+                value = fn(comm, **kwargs)
+        else:
+            value = fn(comm, **kwargs)
         stats.wall_s = time.perf_counter() - start
-        outcome = ("ok", value, stats)
+        # The child's process-global EventCounter is invisible to the
+        # driver; ship a snapshot so structure-cache hit/miss counts
+        # merge into the driver's counter (parity with threads).
+        outcome = ("ok", value, stats, event_counter().snapshot())
     except BaseException as exc:  # noqa: BLE001 - reported to the driver
         abort_event.set()
         is_timeout = isinstance(exc, FabricTimeoutError)
@@ -540,6 +561,14 @@ def run_process_spmd(
 
     values = [outcomes[rank][1] for rank in range(size)]
     all_stats = [outcomes[rank][2] for rank in range(size)]
+    # Fold every child's EventCounter snapshot into the driver's
+    # process-global counter, mirroring what the thread backend gets
+    # for free by sharing one interpreter.
+    from repro.util.counters import event_counter
+
+    for rank in range(size):
+        for label, n in outcomes[rank][3].items():
+            event_counter().bump(label, n)
     return SpmdResult(
         values=values,
         stats=RunStats(per_rank=all_stats),

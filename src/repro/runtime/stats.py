@@ -11,6 +11,7 @@ are produced from these counters through the cost model.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 
@@ -49,10 +50,17 @@ class CommStats:
         ``phase -> seconds`` breakdown of ``wait_s``, attributed to the
         phase active when the operation was *initiated* (so synchronous
         and overlapped runs attribute waits to the same phases).
+    tracer:
+        Optional per-rank :class:`~repro.obs.tracer.Tracer`, installed
+        by the executor when tracing is on. Waits recorded here become
+        timed ``"wait"`` slices on the rank's timeline, and — because
+        ``CommStats`` is what the process fabric pickles back — the
+        rank's whole span record rides home to the driver on it.
     """
 
     __slots__ = ("rank", "bytes_sent", "messages_sent", "flops", "by_phase",
-                 "_phase", "trace", "wall_s", "wait_s", "wait_by_phase")
+                 "_phase", "trace", "wall_s", "wait_s", "wait_by_phase",
+                 "tracer")
 
     def __init__(self, rank: int, trace: bool = False) -> None:
         self.rank = rank
@@ -64,6 +72,7 @@ class CommStats:
         self.wall_s = 0.0
         self.wait_s = 0.0
         self.wait_by_phase: dict[str, float] = {}
+        self.tracer = None
         if trace:
             from repro.runtime.trace import CommTrace
 
@@ -102,6 +111,12 @@ class CommStats:
         )
         if self.trace is not None:
             self.trace.record_wait(label, seconds)
+        if self.tracer is not None:
+            # Callers invoke record_wait immediately after the blocking
+            # wait returns, so "now" is the interval's end to within
+            # call overhead — good enough for a timeline slice.
+            end = time.perf_counter()
+            self.tracer.add_slice("wait", end - seconds, end, phase=label)
 
     @property
     def compute_s(self) -> float:
@@ -196,9 +211,33 @@ class RunStats:
                 phases[phase] = max(phases.get(phase, 0), nbytes)
         return phases
 
+    @property
+    def wait_fraction(self) -> float:
+        """Blocked share of the slowest rank's wall-clock.
+
+        ``max_wait_s / max_wall_s`` — the same summary-level definition
+        the strong-scaling bench reports; 0 when wall time is unset
+        (thread backend without measurement).
+        """
+        wall = self.max_wall_s
+        return (self.max_wait_s / wall) if wall > 0 else 0.0
+
+    def max_wait_by_phase(self) -> dict[str, float]:
+        """Per-phase max-over-ranks blocked seconds."""
+        phases: dict[str, float] = {}
+        for stats in self.per_rank:
+            for phase, seconds in stats.wait_by_phase.items():
+                phases[phase] = max(phases.get(phase, 0.0), seconds)
+        return phases
+
     def summary(self) -> dict[str, float]:
-        """Flat dict for CSV emission by the benchmark harness."""
-        return {
+        """Flat dict for CSV emission by the benchmark harness.
+
+        Includes the overlap-era wait columns: ``total_wait_s``,
+        ``wait_fraction`` and one ``max_wait_<phase>_s`` column per
+        traffic phase that recorded blocked time.
+        """
+        out = {
             "ranks": self.size,
             "max_bytes_sent": self.max_bytes_sent,
             "max_words_sent": self.max_words_sent,
@@ -207,4 +246,9 @@ class RunStats:
             "max_flops": self.max_flops,
             "max_wall_s": self.max_wall_s,
             "max_wait_s": self.max_wait_s,
+            "total_wait_s": self.total_wait_s,
+            "wait_fraction": self.wait_fraction,
         }
+        for phase, seconds in sorted(self.max_wait_by_phase().items()):
+            out[f"max_wait_{phase}_s"] = seconds
+        return out

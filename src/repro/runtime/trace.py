@@ -58,23 +58,35 @@ class CommTrace:
     on a receive* so a trace shows not just what a rank sent but where
     it stalled — the per-phase stall profile the comm/compute overlap
     work targets.
+
+    Both lists are true ring buffers: at capacity the *oldest* entry is
+    evicted, so a long run's trace always ends at the interesting part
+    (the hang or divergence you are debugging), and the eviction counts
+    are kept separately as ``dropped_events`` / ``dropped_waits``
+    (``dropped`` is the combined total).
     """
 
     capacity: int = DEFAULT_CAPACITY
     events: list[TraceEvent] = field(default_factory=list)
     waits: list[WaitEvent] = field(default_factory=list)
-    dropped: int = 0
+    dropped_events: int = 0
+    dropped_waits: int = 0
+
+    @property
+    def dropped(self) -> int:
+        """Total evicted entries of either kind (combined view)."""
+        return self.dropped_events + self.dropped_waits
 
     def record(self, sequence: int, phase: str, nbytes: int) -> None:
         if len(self.events) >= self.capacity:
-            self.dropped += 1
-            return
+            del self.events[0]
+            self.dropped_events += 1
         self.events.append(TraceEvent(sequence, phase, nbytes))
 
     def record_wait(self, phase: str, seconds: float) -> None:
         if len(self.waits) >= self.capacity:
-            self.dropped += 1
-            return
+            del self.waits[0]
+            self.dropped_waits += 1
         self.waits.append(WaitEvent(phase, seconds))
 
     def by_phase(self) -> dict[str, int]:
@@ -102,14 +114,26 @@ def diff_traces(a: CommTrace, b: CommTrace) -> str:
     SPMD collectives keep ranks' *phase sequences* aligned even though
     payload sizes differ; a phase divergence pinpoints a rank taking a
     different code path (the root cause of most tag-mismatch hangs).
-    Returns a human-readable report ("traces agree" if none).
+    Returns a human-readable report ("traces agree" if none). When
+    either ring buffer evicted old events the comparison only covers
+    the retained tail windows, and the report says so — a "divergence"
+    between differently-truncated windows is then positional, not
+    necessarily a real code-path split.
     """
+    note = ""
+    if a.dropped_events or b.dropped_events:
+        note = (
+            " (note: ring truncation — rank A dropped "
+            f"{a.dropped_events} and rank B dropped {b.dropped_events} "
+            "oldest events; only the retained tails were compared)"
+        )
     for index, (ea, eb) in enumerate(zip(a.events, b.events)):
         if ea.phase != eb.phase:
             return (
                 f"divergence at event {index}: "
                 f"rank A sent in phase {ea.phase!r} ({ea.nbytes} B) "
                 f"but rank B sent in phase {eb.phase!r} ({eb.nbytes} B)"
+                f"{note}"
             )
     if len(a.events) != len(b.events):
         longer = "A" if len(a.events) > len(b.events) else "B"
@@ -117,6 +141,6 @@ def diff_traces(a: CommTrace, b: CommTrace) -> str:
         extra = (a if longer == "A" else b).events[shorter_len]
         return (
             f"rank {longer} has extra events from index {shorter_len}: "
-            f"first extra is {extra}"
+            f"first extra is {extra}{note}"
         )
-    return "traces agree"
+    return "traces agree" + note

@@ -26,6 +26,7 @@ import os
 
 import numpy as np
 
+from repro.obs.tracer import traced as _traced
 from repro.tensor.csr import CSRMatrix
 from repro.tensor.segment import (
     expand_segments,
@@ -158,6 +159,7 @@ def mm(
 # ----------------------------------------------------------------------
 # SpMM — semiring-generic sparse-dense product
 # ----------------------------------------------------------------------
+@_traced("kernel.spmm")
 def spmm(
     a: CSRMatrix,
     h: np.ndarray,
@@ -352,6 +354,7 @@ def _spmm_average(a: CSRMatrix, h: np.ndarray) -> np.ndarray:
 # ----------------------------------------------------------------------
 # SDDMM family — sampled dense-dense products on the edge set
 # ----------------------------------------------------------------------
+@_traced("kernel.sddmm_dot")
 def sddmm_dot(
     pattern: CSRMatrix,
     x: np.ndarray,
@@ -411,6 +414,7 @@ def sddmm_dot(
     return out
 
 
+@_traced("kernel.sddmm_add")
 def sddmm_add(
     pattern: CSRMatrix,
     u: np.ndarray,
@@ -450,6 +454,7 @@ def sddmm_add(
     return out
 
 
+@_traced("kernel.sddmm_cosine")
 def sddmm_cosine(
     pattern: CSRMatrix,
     h: np.ndarray,
@@ -508,6 +513,7 @@ def sddmm_cosine(
 # ----------------------------------------------------------------------
 # Composite kernels identified by the paper
 # ----------------------------------------------------------------------
+@_traced("kernel.spmmm")
 def spmmm(
     a: CSRMatrix,
     b: np.ndarray,
@@ -553,6 +559,7 @@ def spmmm(
     )
 
 
+@_traced("kernel.mspmm")
 def mspmm(
     d: np.ndarray,
     a: CSRMatrix,
@@ -631,6 +638,7 @@ def _mspmm_batched(
 # ----------------------------------------------------------------------
 # Graph softmax (Section 4.2) on a sparse pattern
 # ----------------------------------------------------------------------
+@_traced("kernel.masked_row_softmax")
 def masked_row_softmax(
     s: CSRMatrix,
     counter: FlopCounter = null_counter(),
@@ -652,6 +660,7 @@ def masked_row_softmax(
     )
 
 
+@_traced("kernel.masked_row_softmax_backward")
 def masked_row_softmax_backward(
     softmax_values: np.ndarray,
     grad_values: np.ndarray,

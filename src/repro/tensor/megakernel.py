@@ -53,6 +53,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.tracer import traced, tracer
 from repro.tensor.csr import CSRMatrix
 from repro.tensor.structure import PatternStructure
 from repro.tensor.workspace import workspace
@@ -445,6 +446,7 @@ def _sddmm_flops(psi: str, nnz: int, heads: int, k: int) -> int:
 # ----------------------------------------------------------------------
 # Forward: one row-block sweep
 # ----------------------------------------------------------------------
+@traced("megakernel.forward")
 def attention_forward(
     a: CSRMatrix,
     psi: str,
@@ -496,6 +498,9 @@ def attention_forward(
     ))
     if plan is None:
         plan = plan_sweep(a.structure, heads, max(k_score, kp))
+    tracer().annotate(
+        psi=psi, heads=heads, strategy=plan.strategy, blocks=plan.n_blocks
+    )
     nnz = a.nnz
     counter.add(_sddmm_flops(psi, nnz, heads, k_score), "SDDMM")
     if softmax:
@@ -572,6 +577,7 @@ def _normalise_ops(psi, heads, *, x_src, x_dst, u, v, norms, slope, beta):
 # ----------------------------------------------------------------------
 # Backward: one row-block sweep (column-side gradients via C scatter)
 # ----------------------------------------------------------------------
+@traced("megakernel.backward")
 def attention_backward(
     a: CSRMatrix,
     psi: str,
@@ -642,6 +648,9 @@ def attention_backward(
 
     if plan is None:
         plan = plan_sweep(a.structure, heads, max(k_score, kp))
+    tracer().annotate(
+        psi=psi, heads=heads, strategy=plan.strategy, blocks=plan.n_blocks
+    )
     out: dict[str, np.ndarray] = {}
     if psi == "add":
         out["dU"] = np.zeros((n, heads), dtype=dtype)

@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.models import build_model
 from repro.models.base import GnnModel, Loss
+from repro.obs.tracer import tracer
 from repro.runtime.communicator import Communicator
 from repro.runtime.executor import run_spmd
 from repro.runtime.stats import RunStats
@@ -181,14 +182,18 @@ def train_step(
     *full* feature matrix; only the sampled source rows are touched),
     which mirrors a rank-local feature store.
     """
-    h0 = np.ascontiguousarray(features[blocks[0].src_nodes])
-    out, caches = forward_blocks(model, blocks, h0, counter=counter)
-    y = labels[blocks[-1].dst_nodes]
-    value = loss.value(out, y)
-    grads = backward_blocks(
-        model, blocks, caches, loss.gradient(out, y), counter=counter
-    )
-    optimizer.step(model, grads)
+    with tracer().span(
+        "minibatch.train_step", counter=counter,
+        batch_size=int(blocks[-1].dst_nodes.shape[0]),
+    ):
+        h0 = np.ascontiguousarray(features[blocks[0].src_nodes])
+        out, caches = forward_blocks(model, blocks, h0, counter=counter)
+        y = labels[blocks[-1].dst_nodes]
+        value = loss.value(out, y)
+        grads = backward_blocks(
+            model, blocks, caches, loss.gradient(out, y), counter=counter
+        )
+        optimizer.step(model, grads)
     return value
 
 
@@ -285,17 +290,23 @@ class MinibatchTrainer:
         result = MinibatchResult()
         classification = np.asarray(labels).ndim == 1
         for epoch in range(epochs):
-            order = rng.permutation(targets) if self.shuffle else targets
-            epoch_losses: list[float] = []
-            for start in range(0, order.shape[0], self.batch_size):
-                batch = order[start : start + self.batch_size]
-                blocks = sample_blocks(a, batch, self.fanouts, rng)
-                value = train_step(
-                    self.model, self.loss, self.optimizer, blocks,
-                    features, labels, counter=counter,
-                )
-                result.sampled_edges += sum(b.sampled_edges for b in blocks)
-                epoch_losses.append(value)
+            with tracer().span("minibatch.epoch", counter=counter, epoch=epoch):
+                order = rng.permutation(targets) if self.shuffle else targets
+                epoch_losses: list[float] = []
+                for start in range(0, order.shape[0], self.batch_size):
+                    batch = order[start : start + self.batch_size]
+                    with tracer().span(
+                        "minibatch.sample", vertices=int(batch.shape[0])
+                    ):
+                        blocks = sample_blocks(a, batch, self.fanouts, rng)
+                    value = train_step(
+                        self.model, self.loss, self.optimizer, blocks,
+                        features, labels, counter=counter,
+                    )
+                    result.sampled_edges += sum(
+                        b.sampled_edges for b in blocks
+                    )
+                    epoch_losses.append(value)
             result.batch_losses.extend(epoch_losses)
             result.losses.append(
                 float(sum(epoch_losses) / max(len(epoch_losses), 1))
@@ -418,23 +429,27 @@ def _pipeline_program(
     if comm.rank == _SAMPLER_RANK:
         rng = make_rng(spec["seed"])
         comm.stats.set_phase("sample")
+        t = tracer()
         handles = []
         i = 0
         for _epoch in range(epochs):
             order = rng.permutation(targets) if spec["shuffle"] else targets
             for start in range(0, order.shape[0], batch_size):
                 batch = order[start : start + batch_size]
-                blocks = sample_blocks(a, batch, fanouts, rng)
-                payload = [b.to_payload() for b in blocks]
-                if overlap:
-                    handles.append(
-                        comm.isend(payload, _TRAINER_RANK, tag=("mb", i))
-                    )
-                else:
-                    comm.send(payload, _TRAINER_RANK, tag=("mb", i))
+                with t.span("pipeline.sample", batch=i):
+                    blocks = sample_blocks(a, batch, fanouts, rng)
+                    payload = [b.to_payload() for b in blocks]
+                with t.span("pipeline.send", batch=i):
+                    if overlap:
+                        handles.append(
+                            comm.isend(payload, _TRAINER_RANK, tag=("mb", i))
+                        )
+                    else:
+                        comm.send(payload, _TRAINER_RANK, tag=("mb", i))
                 i += 1
-        for handle in handles:
-            handle.wait()
+        with t.span("pipeline.flush"):
+            for handle in handles:
+                handle.wait()
         return None
 
     model = build_model(
@@ -446,19 +461,22 @@ def _pipeline_program(
     optimizer = _build_optimizer(spec)
     losses: list[float] = []
     comm.stats.set_phase("compute")
+    t = tracer()
     pending = None
     if overlap and total:
         pending = comm.irecv(_SAMPLER_RANK, tag=("mb", 0))
     for i in range(total):
-        if overlap:
-            payload = pending.wait()
-            if i + 1 < total:
-                # Post the next receive *before* computing this batch:
-                # the transfer of batch i+1 (and the sampler's work on
-                # it) proceeds while train_step runs.
-                pending = comm.irecv(_SAMPLER_RANK, tag=("mb", i + 1))
-        else:
-            payload = comm.recv(_SAMPLER_RANK, tag=("mb", i))
+        with t.span("pipeline.recv", batch=i):
+            if overlap:
+                payload = pending.wait()
+                if i + 1 < total:
+                    # Post the next receive *before* computing this
+                    # batch: the transfer of batch i+1 (and the
+                    # sampler's work on it) proceeds while train_step
+                    # runs.
+                    pending = comm.irecv(_SAMPLER_RANK, tag=("mb", i + 1))
+            else:
+                payload = comm.recv(_SAMPLER_RANK, tag=("mb", i))
         blocks = [Block.from_payload(p) for p in payload]
         losses.append(
             train_step(

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.models.base import GnnModel, Loss
+from repro.obs.tracer import tracer
 from repro.tensor.csr import CSRMatrix
 from repro.training.metrics import accuracy
 from repro.training.optim import Optimizer
@@ -73,12 +74,15 @@ class Trainer:
         best_val = -np.inf
         stall = 0
         for epoch in range(epochs):
-            out = self.model.forward(a, features, counter=counter, training=True)
-            loss_value = self.loss.value(out, labels)
-            grads = self.model.backward(
-                self.loss.gradient(out, labels), counter=counter
-            )
-            self.optimizer.step(self.model, grads)
+            with tracer().span("train.epoch", counter=counter, epoch=epoch):
+                out = self.model.forward(
+                    a, features, counter=counter, training=True
+                )
+                loss_value = self.loss.value(out, labels)
+                grads = self.model.backward(
+                    self.loss.gradient(out, labels), counter=counter
+                )
+                self.optimizer.step(self.model, grads)
             result.losses.append(loss_value)
             # Accuracy only makes sense for class labels (1-D integers);
             # regression targets (e.g. MSE) record NaN.

@@ -121,3 +121,22 @@ def waity_pingpong(comm, sleep_s: float = 0.15):
     _time.sleep(sleep_s)
     comm.send(np.ones(8), 0, tag="late")
     return 0.0
+
+
+def bump_named_event(comm, label: str = "obs_merge_probe"):
+    """Bump a unique event label child-side (EventCounter merge test)."""
+    from repro.util.counters import event_counter
+
+    event_counter().bump(label, comm.rank + 1)
+    comm.allreduce(np.ones(4))
+    return comm.rank
+
+
+def traced_span_work(comm):
+    """Open spans rank-side so tracing plumbing can be asserted."""
+    from repro.obs.tracer import tracer
+
+    with tracer().span("child.step", rank=comm.rank):
+        comm.stats.set_phase("work")
+        comm.allreduce(np.ones(8))
+    return len(tracer().spans)

@@ -296,3 +296,34 @@ class TestTracePlumbing:
         assert len(trace.events) == result.stats.per_rank[0].messages_sent
         phases = {event.phase for event in trace.events}
         assert "alpha" in phases or "beta" in phases
+
+
+class TestObservabilityPlumbing:
+    def test_event_counter_merges_back_to_driver(self):
+        """Child-process EventCounter bumps must reach the driver's
+        process-global counter — otherwise cache-hit/workspace tallies
+        silently vanish on the process backend (regression test)."""
+        from repro.util.counters import event_counter
+
+        label = "obs_merge_probe"
+        before = event_counter().count(label)
+        run_spmd(2, programs.bump_named_event, backend="process",
+                 timeout=60.0, label=label)
+        # Ranks 0 and 1 bump rank+1 occurrences: 1 + 2 = 3.
+        assert event_counter().count(label) == before + 3
+
+    def test_rank_tracers_cross_the_process_boundary(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        result = run_spmd(2, programs.traced_span_work,
+                          backend="process", timeout=60.0)
+        for rank, stats in enumerate(result.stats.per_rank):
+            tracer = stats.tracer
+            assert tracer is not None and tracer.rank == rank
+            names = [s.name for s in tracer.spans]
+            assert "child.step" in names
+            assert names[-1] == "rank.program"
+
+    def test_tracing_disabled_by_default_on_process_backend(self):
+        result = run_spmd(2, programs.traced_span_work,
+                          backend="process", timeout=60.0)
+        assert all(s.tracer is None for s in result.stats.per_rank)

@@ -35,6 +35,25 @@ class TestTraceRecording:
         assert len(trace.events) == 3
         assert trace.dropped == 2
 
+    def test_ring_drops_oldest_keeps_newest(self):
+        trace = CommTrace(capacity=3)
+        for i in range(5):
+            trace.record(i, "p", 10)
+        # A true ring: the tail survives, the head is evicted — a long
+        # run's trace ends at the interesting part.
+        assert [e.sequence for e in trace.events] == [2, 3, 4]
+        assert trace.dropped_events == 2
+        assert trace.dropped_waits == 0
+
+    def test_wait_ring_counts_separately(self):
+        trace = CommTrace(capacity=2)
+        for i in range(4):
+            trace.record_wait(f"phase{i}", 0.1)
+        assert [w.phase for w in trace.waits] == ["phase2", "phase3"]
+        assert trace.dropped_waits == 2
+        assert trace.dropped_events == 0
+        assert trace.dropped == 2
+
 
 class TestDiffTraces:
     def test_agreement(self):
@@ -59,6 +78,26 @@ class TestDiffTraces:
         a.record(2, "x", 10)
         b.record(1, "x", 10)
         assert "extra events" in diff_traces(a, b)
+
+    def test_truncation_noted_in_report(self):
+        a, b = CommTrace(capacity=2), CommTrace(capacity=2)
+        for i in range(4):
+            a.record(i, "x", 10)
+        b.record(2, "x", 10)
+        b.record(3, "x", 10)
+        report = diff_traces(a, b)
+        assert report.startswith("traces agree")
+        assert "ring truncation" in report
+        assert "rank A dropped 2" in report
+
+    def test_truncation_noted_on_divergence(self):
+        a, b = CommTrace(capacity=2), CommTrace(capacity=2)
+        for i in range(4):
+            a.record(i, "x", 10)
+        b.record(0, "y", 10)
+        report = diff_traces(a, b)
+        assert "divergence at event 0" in report
+        assert "ring truncation" in report
 
     def test_symmetric_collectives_give_identical_traces(self):
         """Ring collectives send the same message sequence on every

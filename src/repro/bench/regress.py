@@ -156,6 +156,28 @@ def run_suite(
         blocks = sample_blocks(pl_a, pl_targets, (8, 8), pl_rng)
         train_step(pl_model, pl_loss, pl_opt, blocks, pl_h, pl_y)
 
+    # One coalesced serving flush (64-seed union ego batch, hub-biased
+    # fan-out) of the same 2-layer GAT — gates the online-inference
+    # path: union sampling, cache probe / splice, and the blocked
+    # ascent together. The seed batches rotate and the cache is sized
+    # below the working set so every flush mixes hits with sampled
+    # misses instead of degenerating to a pure cache read.
+    import itertools
+
+    from repro.serving import ServingEngine
+
+    serve_engine = ServingEngine(
+        pl_model, pl_a, pl_h, fanouts=(8, 8), cache=n // 2,
+        weights="hub", seed=0,
+    )
+    serve_rng = np.random.default_rng(4)
+    serve_batches = itertools.cycle([
+        np.unique(serve_rng.integers(0, n, 64)) for _ in range(8)
+    ])
+
+    def serving_step():
+        serve_engine.serve_unique(next(serve_batches))
+
     dag_models = {
         "dag_gat3_interp": dag_model("gat", fused=False),
         "dag_gat3_fused": dag_model("gat", fused=True),
@@ -175,6 +197,7 @@ def run_suite(
         "gat8_multihead_batched": mh_step,
         "gat8_fused": mega_step,
         "gat_sampled_powerlaw": sampled_step,
+        "gat_serving_batched": serving_step,
     }
     cases.update({
         name: (lambda model=model: dag_step(model))

@@ -1,0 +1,332 @@
+"""Online-serving latency/throughput harness (p50/p99, open loop).
+
+Measures the serving subsystem's headline claim — coalesced
+union-batched inference beats naive per-request forwards by a
+multi-× factor — on a power-law graph with degree-skewed (hub-heavy)
+traffic, the regime ROADMAP item 2 targets. Three phases per run:
+
+1. **Sequential baseline** — the same request trace served one seed at
+   a time on a cache-less engine: per-request latency and throughput of
+   naive serving.
+2. **Coalesced closed loop** — ``requesters`` threads (acceptance: 64)
+   each issue their slice of the trace back-to-back against a
+   :class:`~repro.serving.engine.ServingServer`; the throughput ratio
+   against phase 1 is the recorded speedup.
+3. **Poisson open loop** — arrivals at ``rate_hz`` with exponential
+   inter-arrival gaps (open-loop load is the honest way to measure
+   tail latency: queueing delay is part of the number, and the arrival
+   process does not slow down when the server does). Per-request
+   end-to-end latency (submit → future resolution) yields p50/p99.
+
+Cache hit rate, mean flush size and span/metric streams ride along via
+the obs registry; run with ``$REPRO_TRACE`` set to get a Perfetto
+timeline of admits/flushes/cache probes.
+
+CLI (the CI ``serving`` job's artifact producer):
+
+.. code-block:: console
+
+   $ PYTHONPATH=src python -m repro.bench.serving_latency \\
+         --out benchmarks/results/serving_latency.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["run", "main"]
+
+
+def _degree_skewed_trace(
+    a, length: int, rng: np.random.Generator
+) -> np.ndarray:
+    """A request trace drawn proportionally to in-degree (hub-heavy)."""
+    deg = (a.indptr[1:] - a.indptr[:-1]).astype(np.float64)
+    deg = np.maximum(deg, 1.0)
+    return rng.choice(a.shape[0], size=length, p=deg / deg.sum())
+
+
+def _quantiles_ms(latencies_s: list[float]) -> dict[str, float]:
+    values = np.asarray(latencies_s, dtype=np.float64) * 1e3
+    return {
+        "p50_ms": round(float(np.quantile(values, 0.50)), 4),
+        "p95_ms": round(float(np.quantile(values, 0.95)), 4),
+        "p99_ms": round(float(np.quantile(values, 0.99)), 4),
+        "mean_ms": round(float(values.mean()), 4),
+        "max_ms": round(float(values.max()), 4),
+    }
+
+
+def run(
+    n: int = 1 << 14,
+    mean_degree: int = 8,
+    feature_dim: int = 32,
+    hidden_dim: int = 32,
+    num_classes: int = 8,
+    num_layers: int = 2,
+    model: str = "gat",
+    fanout: int | None = 8,
+    requesters: int = 64,
+    requests_per_requester: int = 8,
+    rate_hz: float = 500.0,
+    open_loop_requests: int = 512,
+    max_batch: int | None = None,
+    max_delay_ms: float | None = None,
+    cache_capacity: int = 1 << 16,
+    hub_weights: bool = True,
+    seed: int | None = None,
+) -> dict:
+    """Run all three phases; return the JSON-ready record.
+
+    The whole record is a pure function of the arguments modulo
+    wall-clock (graph, features, model init, trace and sampling streams
+    all derive from the one seed).
+    """
+    from repro.bench.harness import make_graph
+    from repro.models import build_model
+    from repro.serving import ServingEngine, ServingServer
+    from repro.util.rng import make_rng, repro_seed_default
+
+    seed = repro_seed_default() if seed is None else int(seed)
+    rng = make_rng(seed)
+    a = make_graph("powerlaw", n, mean_degree * n, seed=seed)
+    features = rng.normal(size=(n, feature_dim))
+    gnn = build_model(
+        model, feature_dim, hidden_dim, num_classes,
+        num_layers=num_layers, seed=seed,
+    )
+    fanouts = None if fanout is None else (fanout,) * num_layers
+    total_requests = requesters * requests_per_requester
+    trace = _degree_skewed_trace(a, total_requests, rng)
+
+    # ------------------------------------------------------------------
+    # Phase 1: sequential per-request forwards (no cache, no batching).
+    # ------------------------------------------------------------------
+    sequential_engine = ServingEngine(
+        gnn, a, features, fanouts=fanouts, cache=None, seed=seed,
+    )
+    sequential_lat: list[float] = []
+    t0 = time.perf_counter()
+    for node in trace:
+        t_req = time.perf_counter()
+        sequential_engine.serve([int(node)])
+        sequential_lat.append(time.perf_counter() - t_req)
+    sequential_s = time.perf_counter() - t0
+    sequential_rps = total_requests / sequential_s
+
+    # ------------------------------------------------------------------
+    # Phase 2: closed loop, `requesters` concurrent threads, coalesced.
+    # ------------------------------------------------------------------
+    def make_engine() -> ServingEngine:
+        return ServingEngine(
+            gnn, a, features, fanouts=fanouts,
+            cache=cache_capacity if cache_capacity else None,
+            weights="hub" if (hub_weights and fanout is not None) else None,
+            seed=seed,
+        )
+
+    closed_engine = make_engine()
+    closed_lat: list[float] = []
+    lat_lock = threading.Lock()
+    barrier = threading.Barrier(requesters + 1)
+
+    def requester(slice_nodes: np.ndarray) -> None:
+        barrier.wait()
+        own: list[float] = []
+        for node in slice_nodes:
+            t_req = time.perf_counter()
+            future = server.submit(int(node))
+            future.result()
+            own.append(time.perf_counter() - t_req)
+        with lat_lock:
+            closed_lat.extend(own)
+
+    with ServingServer(
+        closed_engine, max_batch=max_batch, max_delay_ms=max_delay_ms,
+    ) as server:
+        threads = [
+            threading.Thread(
+                target=requester,
+                args=(trace[i::requesters],),
+                daemon=True,
+            )
+            for i in range(requesters)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        closed_s = time.perf_counter() - t0
+    closed_rps = total_requests / closed_s
+
+    # ------------------------------------------------------------------
+    # Phase 3: Poisson open loop at `rate_hz`.
+    # ------------------------------------------------------------------
+    open_engine = make_engine()
+    open_lat: list[float] = []
+    done = threading.Event()
+    pending = threading.Semaphore(0)
+
+    def on_done(t_req: float):
+        def callback(_future) -> None:
+            with lat_lock:
+                open_lat.append(time.perf_counter() - t_req)
+            pending.release()
+
+        return callback
+
+    open_trace = _degree_skewed_trace(a, open_loop_requests, rng)
+    gaps = rng.exponential(1.0 / rate_hz, size=open_loop_requests)
+    with ServingServer(
+        open_engine, max_batch=max_batch, max_delay_ms=max_delay_ms,
+    ) as server:
+        t0 = time.perf_counter()
+        t_next = t0
+        for node, gap in zip(open_trace, gaps):
+            t_next += gap
+            delay = t_next - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            t_req = time.perf_counter()
+            server.submit(int(node)).add_done_callback(on_done(t_req))
+        for _ in range(open_loop_requests):
+            pending.acquire()
+        open_s = time.perf_counter() - t0
+    done.set()
+    open_rps = open_loop_requests / open_s
+
+    cache = open_engine.cache
+    record = {
+        "meta": {
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "config": {
+            "model": model,
+            "n": int(n),
+            "num_edges": int(a.nnz),
+            "feature_dim": int(feature_dim),
+            "hidden_dim": int(hidden_dim),
+            "num_classes": int(num_classes),
+            "num_layers": int(num_layers),
+            "fanout": fanout,
+            "requesters": int(requesters),
+            "requests_per_requester": int(requests_per_requester),
+            "rate_hz": float(rate_hz),
+            "open_loop_requests": int(open_loop_requests),
+            "max_batch": max_batch,
+            "max_delay_ms": max_delay_ms,
+            "cache_capacity": int(cache_capacity),
+            "hub_weights": bool(hub_weights),
+            "seed": int(seed),
+        },
+        "sequential": {
+            "requests": int(total_requests),
+            "total_s": round(sequential_s, 4),
+            "throughput_rps": round(sequential_rps, 2),
+            **_quantiles_ms(sequential_lat),
+        },
+        "coalesced": {
+            "requests": int(total_requests),
+            "total_s": round(closed_s, 4),
+            "throughput_rps": round(closed_rps, 2),
+            "speedup_vs_sequential": round(closed_rps / sequential_rps, 3),
+            "cache_hit_rate": (
+                round(closed_engine.cache.hit_rate, 4)
+                if closed_engine.cache is not None
+                else None
+            ),
+            **_quantiles_ms(closed_lat),
+        },
+        "open_loop": {
+            "requests": int(open_loop_requests),
+            "offered_rate_hz": float(rate_hz),
+            "total_s": round(open_s, 4),
+            "throughput_rps": round(open_rps, 2),
+            "cache_hit_rate": (
+                round(cache.hit_rate, 4) if cache is not None else None
+            ),
+            "cache_entries": len(cache) if cache is not None else 0,
+            **_quantiles_ms(open_lat),
+        },
+    }
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Serving latency harness: sequential vs coalesced "
+        "vs Poisson open-loop inference on a power-law graph."
+    )
+    parser.add_argument("--n", type=int, default=1 << 14)
+    parser.add_argument("--degree", type=int, default=8,
+                        help="mean degree of the power-law graph")
+    parser.add_argument("--feat", type=int, default=32)
+    parser.add_argument("--hidden", type=int, default=32)
+    parser.add_argument("--classes", type=int, default=8)
+    parser.add_argument("--layers", type=int, default=2)
+    parser.add_argument("--model", default="gat")
+    parser.add_argument(
+        "--fanout", type=int, default=8,
+        help="per-hop fan-out; 0 means full (exact) ego graphs",
+    )
+    parser.add_argument("--requesters", type=int, default=64)
+    parser.add_argument("--requests-per-requester", type=int, default=8)
+    parser.add_argument("--rate-hz", type=float, default=500.0)
+    parser.add_argument("--open-loop-requests", type=int, default=512)
+    parser.add_argument(
+        "--max-batch", type=int, default=None,
+        help="coalescing batch cap (default $REPRO_SERVE_MAX_BATCH)",
+    )
+    parser.add_argument(
+        "--max-delay-ms", type=float, default=None,
+        help="admission delay bound (default $REPRO_SERVE_MAX_DELAY_MS)",
+    )
+    parser.add_argument("--cache-capacity", type=int, default=1 << 16,
+                        help="activation-cache entries; 0 disables")
+    parser.add_argument("--no-hub-weights", action="store_true",
+                        help="disable degree-biased importance sampling")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="defaults to $REPRO_SEED (else 0)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write the full JSON record to this path",
+    )
+    args = parser.parse_args(argv)
+
+    record = run(
+        n=args.n, mean_degree=args.degree, feature_dim=args.feat,
+        hidden_dim=args.hidden, num_classes=args.classes,
+        num_layers=args.layers, model=args.model,
+        fanout=None if args.fanout == 0 else args.fanout,
+        requesters=args.requesters,
+        requests_per_requester=args.requests_per_requester,
+        rate_hz=args.rate_hz, open_loop_requests=args.open_loop_requests,
+        max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
+        cache_capacity=args.cache_capacity,
+        hub_weights=not args.no_hub_weights, seed=args.seed,
+    )
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    if args.out is not None:
+        print(f"record written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

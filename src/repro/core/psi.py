@@ -221,12 +221,16 @@ def psi_gat(
     per-head loop.
     """
     hp = np.asarray(hp)
+    # einsum (not BLAS gemv) in both branches: each row's logit is then
+    # bitwise independent of how many other rows share the batch, so a
+    # vertex scores identically in any ego-batch that contains it (the
+    # serving coalescer's batched == per-request identity contract).
     if hp.ndim == 3:
         u = np.einsum("nhd,hd->nh", hp, a_src)
         v = np.einsum("nhd,hd->nh", hp, a_dst)
     else:
-        u = hp @ a_src
-        v = hp @ a_dst
+        u = np.einsum("nd,d->n", hp, a_src)
+        v = np.einsum("nd,d->n", hp, a_dst)
     counter.add(4 * hp.size, "gat_uv")
     raw = sddmm_add(a, u, v, counter=counter)
     logits = leaky_relu(raw, slope)

@@ -413,6 +413,12 @@ class _Engine:
             return spmm(left, self.value(node.inputs[1]))
         a = self.value(node.inputs[0])
         b = self.value(node.inputs[1])
+        if a.ndim == 2 and b.ndim == 1:
+            # Row-stable matrix-vector product: BLAS gemv accumulates
+            # differently depending on the row count, which would make
+            # attention logits (hence outputs) depend on ego-batch
+            # composition; einsum keeps each row's dot bitwise fixed.
+            return np.einsum("nd,d->n", a, b)
         return a @ b
 
     def _replicate_dense(self, node) -> np.ndarray:

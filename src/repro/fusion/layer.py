@@ -20,24 +20,40 @@ segment sweeps and reuse pooled workspaces — while ``DagLayer`` is the
 Tests assert the two paths agree to tight tolerances, which is exactly
 the paper's argument that the global formulations and their derived
 gradients are the single source of truth.
+
+Program/parameter split
+-----------------------
+A layer's *program* — the joint forward+backward DAG and its fused
+kernel grouping — is a pure function of ``(model, beta, slope)``; only
+the parameter arrays differ between two GAT ``DagLayer`` instances.
+Compiled programs are therefore interned in a module-level cache and
+shared read-only: the per-step :class:`ProgramRunner` (which binds the
+actual arrays and memoises activations) is the *per-request* state, so
+one compiled program serves any number of layers, models, and
+concurrent in-flight batches — the same parameters-vs-workspace split
+the serving engine makes at the model level. A side effect of interning
+is that fusion runs once per distinct layer shape instead of once per
+``forward`` call.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.fusion.autodiff import GradProgram, build_vjp
+from repro.fusion.fuse import FusedProgram, fuse
 from repro.fusion.interp import ProgramRunner
 from repro.fusion.models import agnn_layer_dag, gat_layer_dag, va_layer_dag
 from repro.models.base import GnnLayer, glorot
 from repro.obs.tracer import tracer
 from repro.tensor.csr import CSRMatrix
-from repro.util.counters import FlopCounter, null_counter
+from repro.util.counters import FlopCounter, event_counter, null_counter
 from repro.util.rng import make_rng
 
-__all__ = ["DagLayer", "LAYER_DAG_BUILDERS"]
+__all__ = ["DagLayer", "LAYER_DAG_BUILDERS", "compiled_layer_program"]
 
 #: model name -> (layer-DAG builder kwargs -> OpDag, extra param names)
 LAYER_DAG_BUILDERS = {
@@ -53,9 +69,55 @@ LAYER_DAG_BUILDERS = {
 }
 
 
+#: (model, beta, slope) -> (derived joint program, fused compilation).
+#: Both values are immutable once built; runners bind inputs privately.
+_PROGRAM_CACHE: dict[
+    tuple[str, float, float], tuple[GradProgram, FusedProgram]
+] = {}
+_PROGRAM_LOCK = threading.Lock()
+
+
+def compiled_layer_program(
+    model: str, beta: float = 1.0, slope: float = 0.2
+) -> tuple[GradProgram, FusedProgram]:
+    """The interned (derived, fused) program pair for one layer shape.
+
+    Built once per distinct ``(model, beta, slope)`` and shared by
+    every :class:`DagLayer` with that shape — programs carry no
+    parameter values, so sharing is safe across instances, reloads and
+    concurrent requests. Events ``dag_program.built`` /
+    ``dag_program.hit`` report cache behaviour.
+    """
+    if model not in LAYER_DAG_BUILDERS:
+        raise ValueError(
+            f"unknown model {model!r}; expected one of "
+            f"{sorted(LAYER_DAG_BUILDERS)}"
+        )
+    key = (model, float(beta), float(slope))
+    with _PROGRAM_LOCK:
+        entry = _PROGRAM_CACHE.get(key)
+        if entry is None:
+            builder, extra = LAYER_DAG_BUILDERS[model]
+            forward = builder(beta=beta, slope=slope)
+            wrt = ("H", "W") + extra
+            program = build_vjp(forward, wrt, seed_name="dZ")
+            entry = (program, fuse(program.dag))
+            _PROGRAM_CACHE[key] = entry
+            event_counter().bump("dag_program.built")
+        else:
+            event_counter().bump("dag_program.hit")
+    return entry
+
+
 @dataclass
 class _DagCache:
-    """Training cache: the joint-program runner plus the contract's ``z``."""
+    """Training cache: the joint-program runner plus the contract's ``z``.
+
+    The runner *is* the request-scoped workspace: it owns the bound
+    inputs and memoised activations of one forward/backward round
+    trip, while the compiled program it executes is shared module
+    state. Dropping the cache drops everything request-specific.
+    """
 
     runner: ProgramRunner
     z: np.ndarray
@@ -101,26 +163,21 @@ class DagLayer(GnnLayer):
         dtype: np.dtype | type = np.float64,
     ) -> None:
         super().__init__(activation)
-        if model not in LAYER_DAG_BUILDERS:
-            raise ValueError(
-                f"unknown model {model!r}; expected one of "
-                f"{sorted(LAYER_DAG_BUILDERS)}"
-            )
-        builder, extra = LAYER_DAG_BUILDERS[model]
+        _, extra = LAYER_DAG_BUILDERS.get(model, (None, ()))
         self.model = model
         self.mode = mode
         self.fused = fused
         self.in_dim = in_dim
         self.out_dim = out_dim
+        self.program, self._fused_program = compiled_layer_program(
+            model, beta=beta, slope=slope
+        )
         rng = make_rng(seed)
         self.weight = glorot(rng, (in_dim, out_dim), dtype)
         if "a_src" in extra:
             self.a_src = glorot(rng, (out_dim,), dtype)
             self.a_dst = glorot(rng, (out_dim,), dtype)
         self._extra = extra
-        forward = builder(beta=beta, slope=slope)
-        wrt = ("H", "W") + extra
-        self.program: GradProgram = build_vjp(forward, wrt, seed_name="dZ")
 
     # ------------------------------------------------------------------
     def _bindings(self, a: CSRMatrix, h: np.ndarray) -> dict:
@@ -140,7 +197,7 @@ class DagLayer(GnnLayer):
             "daglayer.forward", counter=counter, model=self.model,
         ):
             runner = ProgramRunner(
-                self.program.dag, self._bindings(a, h), mode=self.mode,
+                self._fused_program, self._bindings(a, h), mode=self.mode,
                 fused=self.fused, counter=counter,
             )
             z = runner.run()

@@ -7,16 +7,22 @@ intermediate results for training, and redistribution hooks that the
 distributed subclasses override (see ``repro.distributed``).
 """
 
-from repro.models.base import GnnLayer, GnnModel, Loss
+from repro.models.base import ForwardState, GnnLayer, GnnModel, Loss
 from repro.models.va import VALayer, va_model
 from repro.models.agnn import AGNNLayer, agnn_model
 from repro.models.gat import GATLayer, MultiHeadGATLayer, gat_model
 from repro.models.gcn import GCNLayer, gcn_model, normalize_adjacency
 from repro.models.gin import GINLayer, gin_model
 from repro.models.sgc import SGCLayer, sgc_model
-from repro.models.serialize import load_model, save_model
+from repro.models.serialize import (
+    load_model,
+    load_state_dict,
+    save_model,
+    state_dict,
+)
 
 __all__ = [
+    "ForwardState",
     "GnnLayer",
     "GnnModel",
     "Loss",
@@ -37,6 +43,8 @@ __all__ = [
     "build_model",
     "save_model",
     "load_model",
+    "state_dict",
+    "load_state_dict",
 ]
 
 

@@ -23,6 +23,7 @@ the artifact's distributed subclasses overload it.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 import numpy as np
@@ -31,7 +32,7 @@ from repro.core.activations import Activation, get_activation
 from repro.tensor.csr import CSRMatrix
 from repro.util.counters import FlopCounter, null_counter
 
-__all__ = ["GnnLayer", "GnnModel", "Loss", "glorot"]
+__all__ = ["ForwardState", "GnnLayer", "GnnModel", "Loss", "glorot"]
 
 
 def glorot(
@@ -101,6 +102,23 @@ class GnnLayer(ABC):
             param -= lr * np.asarray(grad, dtype=param.dtype)
 
 
+@dataclass
+class ForwardState:
+    """Per-request workspace of one forward/backward round trip.
+
+    The model's *parameters* are shared, long-lived state; the
+    activation caches a forward pass accumulates are *per-request*
+    state. Passing an explicit ``ForwardState`` to
+    :meth:`GnnModel.forward` / :meth:`GnnModel.backward` keeps that
+    request-scoped state out of the model instance entirely, so one
+    loaded model can run many in-flight passes concurrently (the
+    serving engine's re-entrancy contract). Omitting it preserves the
+    historical convenience behaviour: caches ride on the instance.
+    """
+
+    caches: list[Any] = field(default_factory=list)
+
+
 class GnnModel:
     """A stack of :class:`GnnLayer` with full-batch training support.
 
@@ -111,10 +129,13 @@ class GnnModel:
 
     Notes
     -----
-    ``forward`` retains per-layer caches on the instance (full-batch
-    training stores all layer activations, which is exactly the memory
-    behaviour the paper's scaling study measures); call with
-    ``training=False`` for cache-free inference.
+    By default ``forward`` retains per-layer caches on the instance
+    (full-batch training stores all layer activations, which is
+    exactly the memory behaviour the paper's scaling study measures);
+    call with ``training=False`` for cache-free inference, or pass an
+    explicit :class:`ForwardState` to keep request-scoped caches off
+    the shared instance (required when one model serves concurrent
+    in-flight batches).
     """
 
     def __init__(self, layers: Sequence[GnnLayer]) -> None:
@@ -139,15 +160,25 @@ class GnnModel:
         h: np.ndarray,
         counter: FlopCounter = null_counter(),
         training: bool = True,
+        state: ForwardState | None = None,
     ) -> np.ndarray:
-        """Full forward pass over all layers."""
+        """Full forward pass over all layers.
+
+        With an explicit ``state`` the per-layer caches land in
+        ``state.caches`` and the model instance is never written —
+        concurrent forwards over shared parameters stay independent.
+        Without one, caches ride on the instance as before.
+        """
         caches: list[Any] = []
         for index, layer in enumerate(self.layers):
             h, cache = layer.forward(a, h, counter=counter, training=training)
             if index + 1 < len(self.layers):
                 h = self.redistribute(h, index)
             caches.append(cache)
-        self._caches = caches if training else None
+        if state is not None:
+            state.caches = caches if training else []
+        else:
+            self._caches = caches if training else None
         return h
 
     # ------------------------------------------------------------------
@@ -155,14 +186,17 @@ class GnnModel:
         self,
         d_h_out: np.ndarray,
         counter: FlopCounter = null_counter(),
+        state: ForwardState | None = None,
     ) -> list[dict[str, np.ndarray]]:
         """Full backward pass from :math:`\\nabla_{H^L}\\mathcal{L}`.
 
         Returns one gradient dict per layer (aligned with
         ``self.layers``). Requires a preceding ``forward`` in training
-        mode.
+        mode; pass the same :class:`ForwardState` the forward filled
+        to chain errors through request-scoped caches.
         """
-        if self._caches is None:
+        caches = state.caches if state is not None else self._caches
+        if not caches:
             raise RuntimeError(
                 "backward requires a prior forward(training=True)"
             )
@@ -170,7 +204,7 @@ class GnnModel:
         gamma = d_h_out
         for index in range(len(self.layers) - 1, -1, -1):
             layer = self.layers[index]
-            cache = self._caches[index]
+            cache = caches[index]
             # Eq. (4)/(6): mask the incoming feature gradient with sigma'.
             g = gamma * layer.activation.grad(cache.z)
             gamma, layer_grads = layer.backward(cache, g, counter=counter)

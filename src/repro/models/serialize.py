@@ -1,9 +1,22 @@
-"""Model checkpointing: save/load all parameters as a compressed npz.
+"""Model checkpointing: parameter snapshots and compressed-npz files.
 
-Parameters are stored flat under ``layer{i}.{name}`` keys; loading
-writes *in place* into an already-constructed model of the same
-architecture, so the checkpoint stays a pure value file (no pickled
-code, no architecture metadata beyond a shape check).
+Parameters are the model's only durable state (activations and
+gradients are per-request workspaces — see
+:class:`repro.models.base.ForwardState`), so a checkpoint is a flat
+``layer{i}.{name}`` → array mapping and nothing else: no pickled code,
+no architecture metadata beyond a shape check.
+
+Two layers of API:
+
+* :func:`state_dict` / :func:`load_state_dict` — in-memory snapshot
+  and *in-place* restore. Loading copies into the existing parameter
+  arrays (``np.copyto``), so every live view of the parameters — layer
+  attributes, serving-engine models mid-flight, optimizer slots —
+  observes the new values without rebinding. This is the hot-swap
+  primitive the serving engine's model reload uses (paired with a
+  params-version bump that invalidates its activation cache).
+* :func:`save_model` / :func:`load_model` — the same mapping as a
+  compressed npz on disk.
 """
 
 from __future__ import annotations
@@ -14,45 +27,67 @@ import numpy as np
 
 from repro.models.base import GnnModel
 
-__all__ = ["save_model", "load_model"]
+__all__ = ["state_dict", "load_state_dict", "save_model", "load_model"]
+
+
+def state_dict(model: GnnModel) -> dict[str, np.ndarray]:
+    """Flat ``layer{i}.{name}`` → array *copy* of all parameters.
+
+    Copies, not views: the snapshot stays stable while the live model
+    keeps training, which is what makes it a checkpoint.
+    """
+    blobs: dict[str, np.ndarray] = {}
+    for index, params in enumerate(model.parameters()):
+        for name, value in params.items():
+            blobs[f"layer{index}.{name}"] = np.array(value, copy=True)
+    return blobs
+
+
+def load_state_dict(
+    model: GnnModel, state: dict[str, np.ndarray]
+) -> GnnModel:
+    """Restore a :func:`state_dict` snapshot *in place* into ``model``.
+
+    The model must have the same architecture (layer count, parameter
+    names, shapes); mismatches raise ``ValueError`` rather than
+    silently truncating. Values are copied into the existing parameter
+    arrays, so shared references (including models currently serving
+    requests) all see the swap.
+    """
+    available = set(state)
+    expected = {
+        f"layer{index}.{name}"
+        for index, params in enumerate(model.parameters())
+        for name in params
+    }
+    if available != expected:
+        missing = sorted(expected - available)
+        extra = sorted(available - expected)
+        raise ValueError(
+            f"checkpoint mismatch: missing={missing}, extra={extra}"
+        )
+    for index, params in enumerate(model.parameters()):
+        for name, value in params.items():
+            stored = np.asarray(state[f"layer{index}.{name}"])
+            if stored.shape != np.asarray(value).shape:
+                raise ValueError(
+                    f"shape mismatch for layer{index}.{name}: "
+                    f"{stored.shape} vs {np.asarray(value).shape}"
+                )
+            np.copyto(value, stored.astype(value.dtype))
+    return model
 
 
 def save_model(model: GnnModel, path: str | Path) -> None:
     """Write every layer's parameters to ``path`` (npz)."""
-    blobs: dict[str, np.ndarray] = {}
-    for index, params in enumerate(model.parameters()):
-        for name, value in params.items():
-            blobs[f"layer{index}.{name}"] = np.asarray(value)
-    np.savez_compressed(Path(path), **blobs)
+    np.savez_compressed(Path(path), **state_dict(model))
 
 
 def load_model(model: GnnModel, path: str | Path) -> GnnModel:
     """Load parameters saved by :func:`save_model` into ``model``.
 
-    The model must have the same architecture (layer count, parameter
-    names, shapes); mismatches raise ``ValueError`` rather than
-    silently truncating.
+    Equivalent to :func:`load_state_dict` on the file's contents: same
+    architecture checks, same in-place copy semantics.
     """
     with np.load(Path(path)) as blob:
-        available = set(blob.files)
-        expected = {
-            f"layer{index}.{name}"
-            for index, params in enumerate(model.parameters())
-            for name in params
-        }
-        if available != expected:
-            missing = sorted(expected - available)
-            extra = sorted(available - expected)
-            raise ValueError(
-                f"checkpoint mismatch: missing={missing}, extra={extra}"
-            )
-        for index, params in enumerate(model.parameters()):
-            for name, value in params.items():
-                stored = blob[f"layer{index}.{name}"]
-                if stored.shape != np.asarray(value).shape:
-                    raise ValueError(
-                        f"shape mismatch for layer{index}.{name}: "
-                        f"{stored.shape} vs {np.asarray(value).shape}"
-                    )
-                np.copyto(value, stored.astype(value.dtype))
-    return model
+        return load_state_dict(model, {k: blob[k] for k in blob.files})

@@ -91,11 +91,18 @@ class Histogram:
         return self.sum / self.count if self.values else 0.0
 
     def quantile(self, q: float) -> float:
-        """Exact ``q``-quantile (linear interpolation between samples)."""
+        """Exact ``q``-quantile (linear interpolation between samples).
+
+        An empty series has no quantiles: the result is ``NaN`` (never
+        a fabricated 0.0, which would read as a real latency) and the
+        ``histogram.empty_quantile`` warning counter in the process
+        registry is bumped so dashboards can flag the misread.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if not self.values:
-            return 0.0
+            metrics().counter("histogram.empty_quantile").inc()
+            return float("nan")
         return float(np.quantile(np.asarray(self.values), q))
 
     def percentiles(self, *ps: float) -> dict[str, float]:
@@ -109,9 +116,10 @@ class Histogram:
     def summary(self) -> dict[str, float]:
         """count/sum/mean/min/max plus the p50/p95/p99 trio."""
         if not self.values:
-            return {"count": 0, "sum": 0.0, "mean": 0.0,
-                    "min": 0.0, "max": 0.0, "p50": 0.0, "p95": 0.0,
-                    "p99": 0.0}
+            nan = float("nan")
+            return {"count": 0, "sum": 0.0, "mean": nan,
+                    "min": nan, "max": nan, "p50": nan, "p95": nan,
+                    "p99": nan}
         return {
             "count": self.count,
             "sum": self.sum,

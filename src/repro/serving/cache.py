@@ -1,0 +1,180 @@
+"""Versioned LRU cache of per-node hidden activations.
+
+The serving engine's second lever (after coalescing): a node's
+layer-ℓ activation is a pure function of its ℓ-hop neighbourhood, the
+input features and the model parameters, so hot nodes — power-law hubs
+appear in almost every union ego-batch — can be computed once and
+reused. Entries are keyed ``(level, node, version)``:
+
+* ``level`` ∈ ``1..L`` — ``level ℓ`` holds :math:`H^ℓ`, the
+  post-activation output of layer ``ℓ-1`` (``level L`` is the model
+  output, so repeat queries for a hot node skip compute entirely).
+  Level 0 is the input feature matrix itself and is never cached.
+* ``node`` — global vertex id; entries are whole rows.
+* ``version`` — the engine's snapshot version, covering model
+  parameters *and* graph/feature state. Any mutation bumps it, so a
+  read can never observe a row computed against different weights or
+  data; :meth:`advance` migrates still-valid rows to the new version
+  (the *targeted* part of delta invalidation) while everything
+  computed by in-flight requests against the old snapshot stays keyed
+  to the dead version and ages out of the LRU unreachable.
+
+The depth-truncation payoff: a cached level-ℓ row terminates sampling
+below level ℓ for that node — the serving engine treats cached rows as
+the frontier, so hops beneath them are never sampled and never
+computed (DGL's ``frame_cache`` is the exemplar).
+
+All operations take one internal lock; the cache is shared by every
+server worker thread. Hits/misses/evictions are observable as the
+``serving.cache.{hit,miss,evict}`` counters in
+:func:`repro.obs.metrics.metrics` and on :attr:`hits` / :attr:`misses`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.obs.metrics import metrics
+
+__all__ = ["ActivationCache"]
+
+
+class ActivationCache:
+    """Bounded LRU of ``(level, node, version)`` → activation row."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = int(capacity)
+        self._rows: OrderedDict[tuple[int, int, int], np.ndarray] = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime hit fraction (NaN before the first lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else float("nan")
+
+    # ------------------------------------------------------------------
+    def get_rows(
+        self, level: int, nodes: np.ndarray, version: int
+    ) -> tuple[list[np.ndarray | None], np.ndarray]:
+        """Look up ``nodes`` at ``level``/``version``.
+
+        Returns ``(rows, hit_mask)``: ``rows[i]`` is the cached row for
+        ``nodes[i]`` (``None`` on miss) and ``hit_mask`` the boolean
+        hit vector. Returned rows are the stored arrays — treat them
+        as read-only. Hits are refreshed in LRU order.
+        """
+        rows: list[np.ndarray | None] = []
+        hit_mask = np.zeros(len(nodes), dtype=bool)
+        n_hit = 0
+        with self._lock:
+            store = self._rows
+            for i, node in enumerate(nodes):
+                key = (level, int(node), version)
+                row = store.get(key)
+                if row is not None:
+                    store.move_to_end(key)
+                    hit_mask[i] = True
+                    n_hit += 1
+                rows.append(row)
+            self.hits += n_hit
+            self.misses += len(nodes) - n_hit
+        registry = metrics()
+        registry.counter("serving.cache.hit").inc(n_hit)
+        registry.counter("serving.cache.miss").inc(len(nodes) - n_hit)
+        return rows, hit_mask
+
+    # ------------------------------------------------------------------
+    def put_rows(
+        self,
+        level: int,
+        nodes: np.ndarray,
+        values: np.ndarray,
+        version: int,
+    ) -> None:
+        """Store ``values[i]`` as the ``level`` activation of ``nodes[i]``.
+
+        Rows are stored by reference (callers hand over freshly
+        computed arrays); oldest entries are evicted past capacity.
+        """
+        if len(nodes) != len(values):
+            raise ValueError("one value row per node required")
+        evicted = 0
+        with self._lock:
+            store = self._rows
+            for node, row in zip(nodes, values):
+                key = (level, int(node), version)
+                store[key] = row
+                store.move_to_end(key)
+            while len(store) > self.capacity:
+                store.popitem(last=False)
+                evicted += 1
+            self.evictions += evicted
+        if evicted:
+            metrics().counter("serving.cache.evict").inc(evicted)
+
+    # ------------------------------------------------------------------
+    def advance(
+        self,
+        old_version: int,
+        new_version: int,
+        dropped: dict[int, np.ndarray] | None = None,
+    ) -> int:
+        """Migrate still-valid rows from ``old_version`` to ``new_version``.
+
+        ``dropped`` maps ``level`` → node ids whose activations the
+        delta touched (see the engine's dependency expansion); those
+        entries — and, when ``dropped`` is ``None``, *all* entries —
+        stay behind on the dead version. Returns the number of rows
+        migrated. LRU order is preserved.
+        """
+        if new_version == old_version:
+            raise ValueError("advance requires a new version")
+        dead: dict[int, set[int]] | None = None
+        if dropped is not None:
+            dead = {
+                int(level): set(int(n) for n in np.asarray(nodes).ravel())
+                for level, nodes in dropped.items()
+            }
+        migrated = 0
+        with self._lock:
+            if dead is None:
+                self._rows.clear()
+                return 0
+            remapped: OrderedDict[tuple[int, int, int], np.ndarray] = (
+                OrderedDict()
+            )
+            for (level, node, version), row in self._rows.items():
+                if version != old_version:
+                    continue  # already-dead versions are dropped
+                if node in dead.get(level, ()):  # touched by the delta
+                    continue
+                remapped[(level, node, new_version)] = row
+                migrated += 1
+            self._rows = remapped
+        return migrated
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._rows.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ActivationCache(n={len(self._rows)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,442 @@
+"""The serving engine: consistent snapshots, deltas, reloads, workers.
+
+:class:`ServingEngine` owns everything a flush needs — model, graph,
+features, fan-outs, the activation cache — and exposes exactly two
+kinds of operation:
+
+* **Reads** (:meth:`serve` / :meth:`serve_unique`) are re-entrant: a
+  serve captures one immutable :class:`_Snapshot` (graph, features,
+  sampling weights, version) in a single attribute read and never
+  looks at mutable engine state again. Any number of worker threads
+  serve concurrently under a *shared* read lock; layer forwards are
+  stateless (``training=False`` retains nothing on the model) and the
+  compiled DAG programs are shared read-only (see
+  :func:`repro.fusion.layer.compiled_layer_program`).
+* **Mutations** (:meth:`reload`, :meth:`apply_feature_delta`,
+  :meth:`apply_graph_delta`) serialise on one lock and are
+  copy-on-write: they build the next snapshot, migrate still-valid
+  cache rows to its version, and publish it with one assignment. An
+  in-flight serve keeps its old snapshot — and, crucially, keeps
+  *writing* cache rows under the old version, where no future read
+  can see them. Staleness is therefore structural: a row is only
+  readable under the version it was computed against. The one piece
+  of shared *mutable* state a serve does read is the model's
+  parameter arrays (:meth:`reload` copies into them in place), so
+  reload alone takes the read lock's exclusive side: it waits out
+  in-flight serves and blocks new ones for the duration of the copy,
+  ensuring no forward ever computes with torn (half-swapped) weights.
+
+Delta invalidation is the standard dependency expansion: a change to
+level-ℓ state of node set ``S`` dirties, at level ``ℓ+1``, the set
+``S ∪ {i : in-neighbours(i) ∩ S ≠ ∅}`` (each hop propagates one level
+up), so a feature delta invalidates the L-hop forward cone of the
+touched rows and everything else migrates intact. A model reload or an
+un-annotated graph swap invalidates everything.
+
+:class:`ServingServer` is the thin thread-pool shell: an
+:class:`~repro.serving.queue.AdmissionQueue` in front, worker threads
+draining it through :func:`~repro.serving.batcher.flush_batch`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro.models.base import GnnModel
+from repro.models.serialize import load_state_dict
+from repro.obs.tracer import tracer
+from repro.serving.batcher import compute_union_rows, flush_batch
+from repro.serving.cache import ActivationCache
+from repro.serving.queue import AdmissionQueue
+from repro.tensor.csr import CSRMatrix
+from repro.tensor.sampling_graph import hub_bias_weights
+from repro.util.rng import repro_seed_default
+
+__all__ = ["ServingEngine", "ServingServer"]
+
+
+@dataclass(frozen=True)
+class _Snapshot:
+    """One immutable (graph, features, weights, version) world-state."""
+
+    a: CSRMatrix
+    features: np.ndarray
+    weights: np.ndarray | None
+    version: int
+
+
+class _ReadWriteLock:
+    """Many concurrent readers (serves) or one writer (reload).
+
+    Writer-preferring enough for serving: an arriving writer only has
+    to wait out serves already in flight because it blocks behind the
+    reader count, and reloads are rare, so reader starvation of the
+    writer is not a practical concern at flush cadence.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writing = False
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writing:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            while self._writing or self._readers:
+                self._cond.wait()
+            self._writing = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writing = False
+            self._cond.notify_all()
+
+
+def _expand_dirty(
+    dirty: np.ndarray, mats: tuple[CSRMatrix, ...]
+) -> np.ndarray:
+    """One level of dependency expansion: ``dirty ∪ forward-cone hop``.
+
+    Returns the sorted union of ``dirty`` with every vertex that has an
+    in-edge from ``dirty`` in any of ``mats`` (old and new adjacency
+    for graph deltas — membership in either makes a row stale).
+    """
+    parts = [dirty]
+    for a in mats:
+        touched = np.isin(a.indices, dirty)
+        if touched.any():
+            # Edge position -> its CSR row (the destination vertex).
+            rows = (
+                np.searchsorted(
+                    a.indptr, np.flatnonzero(touched), side="right"
+                )
+                - 1
+            )
+            parts.append(np.unique(rows))
+    return np.unique(np.concatenate(parts))
+
+
+class ServingEngine:
+    """Re-entrant online-inference engine over one loaded model."""
+
+    def __init__(
+        self,
+        model: GnnModel,
+        a: CSRMatrix,
+        features: np.ndarray,
+        fanouts: tuple[int | None, ...] | None = None,
+        cache: ActivationCache | int | None = 65536,
+        weights: np.ndarray | str | None = None,
+        seed: int | None = None,
+    ) -> None:
+        """``fanouts=None`` serves exact (full fan-out) ego graphs.
+
+        ``cache`` accepts a ready :class:`ActivationCache`, a capacity
+        (entries), or ``None`` to disable caching. ``weights="hub"``
+        turns on degree-biased importance sampling
+        (:func:`~repro.tensor.sampling_graph.hub_bias_weights`) so
+        limited fan-outs keep the most cacheable vertices; it is
+        recomputed on graph swaps. Explicit per-edge arrays pass
+        through unchanged (and must be re-supplied with a new graph).
+        """
+        if features.shape[0] != a.shape[0]:
+            raise ValueError(
+                "feature rows must cover every vertex of the adjacency"
+            )
+        for layer in model.layers:
+            # Ego-graph serving samples one hop per layer; a layer with
+            # an internal multi-hop receptive field (SGC's K-hop
+            # propagation) would silently read truncated neighbourhoods.
+            if getattr(layer, "hops", 1) != 1:
+                raise ValueError(
+                    "serving requires one-hop layers; "
+                    f"{type(layer).__name__} propagates "
+                    f"{layer.hops} hops internally"
+                )
+        self.model = model
+        self.fanouts: tuple[int | None, ...] = (
+            tuple(fanouts)
+            if fanouts is not None
+            else (None,) * model.num_layers
+        )
+        if len(self.fanouts) != model.num_layers:
+            raise ValueError(
+                f"got {len(self.fanouts)} fan-outs for "
+                f"{model.num_layers} layers"
+            )
+        if isinstance(cache, int):
+            cache = ActivationCache(capacity=cache)
+        self.cache = cache
+        self._weights_mode = weights if isinstance(weights, str) else None
+        if self._weights_mode is not None and self._weights_mode != "hub":
+            raise ValueError(
+                f"unknown weights mode {weights!r}; use 'hub', an "
+                "explicit per-edge array, or None"
+            )
+        resolved = (
+            hub_bias_weights(a)
+            if self._weights_mode == "hub"
+            else (None if weights is None else np.asarray(weights))
+        )
+        self._snapshot = _Snapshot(
+            a=a,
+            features=np.asarray(features),
+            weights=resolved,
+            version=0,
+        )
+        self._mutate = threading.Lock()
+        self._params = _ReadWriteLock()
+        self._seed = repro_seed_default() if seed is None else int(seed)
+        self._ticket = itertools.count()
+
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """The live snapshot's version (bumps on every mutation)."""
+        return self._snapshot.version
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self._snapshot.a.shape[0])
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def serve(self, nodes) -> np.ndarray:
+        """Output rows for ``nodes`` (any order, duplicates allowed)."""
+        nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
+        seeds, inverse = np.unique(nodes, return_inverse=True)
+        return self.serve_unique(seeds)[inverse]
+
+    def serve_unique(self, seeds: np.ndarray) -> np.ndarray:
+        """Output rows for unique sorted ``seeds`` as one union batch."""
+        # Each serve draws a private spawned stream so concurrent
+        # flushes cannot interleave on a shared generator (full
+        # fan-out never consults it at all).
+        rng = np.random.default_rng([self._seed, next(self._ticket)])
+        # Shared side of the parameter lock: any number of serves run
+        # concurrently, but none overlaps a reload's in-place copy.
+        self._params.acquire_read()
+        try:
+            # One atomic read, *inside* the read lock so the version
+            # seen here cannot pre-date a parameter copy that finished
+            # before we acquired (cached old-version rows must never
+            # mix with freshly reloaded weights).
+            snapshot = self._snapshot
+
+            with tracer().span(
+                "serve.batch", seeds=int(seeds.size),
+                version=snapshot.version,
+            ):
+                return compute_union_rows(
+                    self.model,
+                    snapshot.a,
+                    snapshot.features,
+                    seeds,
+                    self.fanouts,
+                    rng,
+                    cache=self.cache,
+                    version=snapshot.version,
+                    weights=snapshot.weights,
+                )
+        finally:
+            self._params.release_read()
+
+    # ------------------------------------------------------------------
+    # Mutations (copy-on-write snapshot swap)
+    # ------------------------------------------------------------------
+    def reload(self, state: dict[str, np.ndarray]) -> int:
+        """Hot-swap model parameters from a ``state_dict`` snapshot.
+
+        Parameters are copied in place under the exclusive side of the
+        parameter lock, so the copy waits out every in-flight serve
+        and blocks new ones until the bumped snapshot is published —
+        each request computes entirely before or entirely after the
+        swap. The whole cache is invalidated (old-version rows embed
+        the old weights) and the new version starts clean. Returns the
+        new version.
+        """
+        with self._mutate:
+            old = self._snapshot
+            # Exclusive side of the parameter lock: wait out in-flight
+            # serves, copy, publish the bumped snapshot, then let new
+            # serves in — no forward ever sees half-swapped weights.
+            self._params.acquire_write()
+            try:
+                load_state_dict(self.model, state)
+                if self.cache is not None:
+                    self.cache.advance(old.version, old.version + 1, None)
+                self._snapshot = _Snapshot(
+                    a=old.a,
+                    features=old.features,
+                    weights=old.weights,
+                    version=old.version + 1,
+                )
+            finally:
+                self._params.release_write()
+            return self._snapshot.version
+
+    def apply_feature_delta(
+        self, nodes: np.ndarray, rows: np.ndarray
+    ) -> int:
+        """Replace the feature rows of ``nodes``; invalidate their cone.
+
+        Copy-on-write: readers of the old snapshot keep the old
+        feature matrix. Cache rows outside the touched nodes' L-hop
+        forward cone migrate to the new version. Returns it.
+        """
+        nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+        rows = np.asarray(rows)
+        with self._mutate:
+            old = self._snapshot
+            features = np.array(old.features, copy=True)
+            features[nodes] = rows
+            if self.cache is not None:
+                dirty = nodes
+                dropped: dict[int, np.ndarray] = {}
+                for level in range(1, self.model.num_layers + 1):
+                    dirty = _expand_dirty(dirty, (old.a,))
+                    dropped[level] = dirty
+                self.cache.advance(
+                    old.version, old.version + 1, dropped
+                )
+            self._snapshot = _Snapshot(
+                a=old.a,
+                features=features,
+                weights=old.weights,
+                version=old.version + 1,
+            )
+            return self._snapshot.version
+
+    def apply_graph_delta(
+        self, a: CSRMatrix, touched_dst: np.ndarray | None = None
+    ) -> int:
+        """Swap in a new adjacency; invalidate affected activations.
+
+        ``touched_dst`` names the vertices whose in-edge lists (or
+        edge values) differ between the two adjacencies; their forward
+        cone — expanded through *both* graphs — is invalidated and the
+        rest migrates. Without it the whole cache is dropped (safe for
+        arbitrary rewires). Hub-bias sampling weights are recomputed.
+        Returns the new version.
+        """
+        if a.shape[0] != self._snapshot.features.shape[0]:
+            raise ValueError(
+                "new adjacency must keep the vertex set (feature rows)"
+            )
+        with self._mutate:
+            old = self._snapshot
+            if self._weights_mode == "hub":
+                weights = hub_bias_weights(a)
+            elif old.weights is not None:
+                raise ValueError(
+                    "explicit sampling weights cannot survive a graph "
+                    "swap; re-create the engine or use weights='hub'"
+                )
+            else:
+                weights = None
+            if self.cache is not None:
+                if touched_dst is None:
+                    self.cache.advance(old.version, old.version + 1, None)
+                else:
+                    # Level-1 activations of the touched destinations
+                    # are stale; each further level adds one hop of the
+                    # forward cone under either adjacency.
+                    dirty = np.unique(
+                        np.asarray(touched_dst, dtype=np.int64)
+                    )
+                    dropped = {1: dirty}
+                    for level in range(2, self.model.num_layers + 1):
+                        dirty = _expand_dirty(dirty, (old.a, a))
+                        dropped[level] = dirty
+                    self.cache.advance(
+                        old.version, old.version + 1, dropped
+                    )
+            self._snapshot = _Snapshot(
+                a=a,
+                features=old.features,
+                weights=weights,
+                version=old.version + 1,
+            )
+            return self._snapshot.version
+
+
+class ServingServer:
+    """Admission queue + worker threads around one engine.
+
+    ``workers`` sizes the flush pool; with one worker, flushes are
+    strictly ordered (the latency-harness configuration), more workers
+    overlap independent union batches on the re-entrant engine.
+    Usable as a context manager; :meth:`close` drains and joins.
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        max_batch: int | None = None,
+        max_delay_ms: float | None = None,
+        workers: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a server needs at least one worker")
+        self.engine = engine
+        self.queue = AdmissionQueue(
+            max_batch=max_batch, max_delay_ms=max_delay_ms
+        )
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"serve-worker-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self.queue.next_batch()
+            if batch is None:
+                return
+            flush_batch(self.engine, batch)
+
+    # ------------------------------------------------------------------
+    def submit(self, node: int) -> Future:
+        """Enqueue one request; resolves to that vertex's output row."""
+        return self.queue.submit(node)
+
+    def submit_many(self, nodes) -> list[Future]:
+        """Enqueue a burst of requests (one future per node)."""
+        return [self.queue.submit(int(node)) for node in np.atleast_1d(
+            np.asarray(nodes, dtype=np.int64)
+        )]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop admissions, drain pending flushes, join the workers."""
+        self.queue.close()
+        for thread in self._threads:
+            thread.join()
+
+    def __enter__(self) -> "ServingServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

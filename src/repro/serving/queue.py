@@ -1,0 +1,194 @@
+"""Admission queue: collect concurrent requests into coalescable batches.
+
+Online inference traffic arrives one seed vertex at a time, but the
+engine's cost is dominated by per-batch fixed work (union sampling,
+kernel launch sweeps), so serving throughput comes from *coalescing*:
+requests accumulate here until either ``max_batch`` of them are
+pending or the oldest has waited ``max_delay_ms`` — the standard
+batching-delay tradeoff (TensorFlow Serving's ``batching_parameters``;
+the delay bound caps the latency cost of waiting for a fuller batch).
+
+:meth:`AdmissionQueue.submit` is the client edge: it enqueues the seed
+under the ``serve.admit`` span and returns a
+:class:`concurrent.futures.Future` that resolves to the model's output
+row for that vertex. :meth:`next_batch` is the worker edge: it blocks
+until a flush is due and drains up to ``max_batch`` requests in FIFO
+order. Both defaults are env-tunable (``$REPRO_SERVE_MAX_BATCH``,
+``$REPRO_SERVE_MAX_DELAY_MS``), read at construction time.
+
+Queue depth is exported as the ``serving.queue_depth`` gauge and each
+request's queueing delay as the ``serving.queue_wait_ms`` histogram.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import metrics
+from repro.obs.tracer import tracer
+
+__all__ = [
+    "AdmissionQueue",
+    "InferenceRequest",
+    "MAX_BATCH_ENV_VAR",
+    "MAX_DELAY_ENV_VAR",
+    "serve_max_batch_default",
+    "serve_max_delay_ms_default",
+]
+
+#: Environment variable giving the default coalescing batch cap.
+MAX_BATCH_ENV_VAR = "REPRO_SERVE_MAX_BATCH"
+
+#: Environment variable giving the default max queueing delay (ms).
+MAX_DELAY_ENV_VAR = "REPRO_SERVE_MAX_DELAY_MS"
+
+
+def serve_max_batch_default() -> int:
+    """Resolve the batch cap from ``$REPRO_SERVE_MAX_BATCH`` (read now).
+
+    Unset means 64 — large enough that a saturating open-loop load
+    amortises sampling across a whole union batch, small enough that
+    one flush's working set stays cache-resident.
+    """
+    raw = os.environ.get(MAX_BATCH_ENV_VAR)
+    if raw is None:
+        return 64
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        value = 0
+    if value < 1:
+        raise ValueError(
+            f"invalid ${MAX_BATCH_ENV_VAR}={raw!r}; "
+            "expected a positive integer"
+        )
+    return value
+
+
+def serve_max_delay_ms_default() -> float:
+    """Resolve the delay bound from ``$REPRO_SERVE_MAX_DELAY_MS``.
+
+    Unset means 2 ms; ``0`` disables waiting entirely (every flush
+    takes whatever is pending — the lowest-latency, lowest-throughput
+    corner).
+    """
+    raw = os.environ.get(MAX_DELAY_ENV_VAR)
+    if raw is None:
+        return 2.0
+    try:
+        value = float(raw.strip())
+    except ValueError:
+        value = -1.0
+    if value < 0.0 or value != value:  # reject negatives and NaN
+        raise ValueError(
+            f"invalid ${MAX_DELAY_ENV_VAR}={raw!r}; "
+            "expected a non-negative number of milliseconds"
+        )
+    return value
+
+
+@dataclass
+class InferenceRequest:
+    """One queued seed vertex and the future its output row resolves."""
+
+    node: int
+    future: Future = field(default_factory=Future)
+    t_submit: float = field(default_factory=time.perf_counter)
+
+
+class AdmissionQueue:
+    """FIFO request queue with a max-batch / max-delay flush policy."""
+
+    def __init__(
+        self,
+        max_batch: int | None = None,
+        max_delay_ms: float | None = None,
+    ) -> None:
+        self.max_batch = (
+            serve_max_batch_default() if max_batch is None else int(max_batch)
+        )
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.max_delay_s = (
+            serve_max_delay_ms_default()
+            if max_delay_ms is None
+            else float(max_delay_ms)
+        ) / 1e3
+        if self.max_delay_s < 0.0:
+            raise ValueError("max_delay_ms must be non-negative")
+        self._pending: deque[InferenceRequest] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    def submit(self, node: int) -> Future:
+        """Enqueue one seed vertex; returns the future of its output row.
+
+        Raises ``RuntimeError`` after :meth:`close` — a closed queue
+        can no longer guarantee the future would ever resolve.
+        """
+        request = InferenceRequest(node=int(node))
+        with tracer().span("serve.admit", node=int(node)):
+            with self._cond:
+                if self._closed:
+                    raise RuntimeError("admission queue is closed")
+                self._pending.append(request)
+                depth = len(self._pending)
+                self._cond.notify()
+        registry = metrics()
+        registry.counter("serving.requests").inc()
+        registry.gauge("serving.queue_depth").set(depth)
+        return request.future
+
+    # ------------------------------------------------------------------
+    def next_batch(self) -> list[InferenceRequest] | None:
+        """Block until a flush is due; drain up to ``max_batch`` requests.
+
+        A flush is due when ``max_batch`` requests are pending or the
+        oldest has aged past the delay bound. Returns ``None`` once the
+        queue is closed *and* drained — the worker's exit signal.
+        """
+        with self._cond:
+            while True:
+                if self._pending:
+                    if len(self._pending) >= self.max_batch:
+                        return self._drain()
+                    wait = (
+                        self._pending[0].t_submit
+                        + self.max_delay_s
+                        - time.perf_counter()
+                    )
+                    if wait <= 0.0 or self._closed:
+                        return self._drain()
+                    self._cond.wait(timeout=wait)
+                elif self._closed:
+                    return None
+                else:
+                    self._cond.wait()
+
+    def _drain(self) -> list[InferenceRequest]:
+        batch = [
+            self._pending.popleft()
+            for _ in range(min(self.max_batch, len(self._pending)))
+        ]
+        metrics().gauge("serving.queue_depth").set(len(self._pending))
+        now = time.perf_counter()
+        waits = metrics().histogram("serving.queue_wait_ms")
+        for request in batch:
+            waits.observe((now - request.t_submit) * 1e3)
+        return batch
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Refuse new submissions; wake workers to drain what is left."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

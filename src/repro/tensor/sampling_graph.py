@@ -55,6 +55,7 @@ __all__ = [
     "sampling_graph_of",
     "sample_one_hop",
     "sample_blocks",
+    "hub_bias_weights",
 ]
 
 
@@ -98,6 +99,7 @@ class SamplingGraph:
         seeds: np.ndarray,
         fanout: int | None,
         rng: np.random.Generator,
+        weights: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Sample up to ``fanout`` neighbours per seed, w/o replacement.
 
@@ -109,12 +111,32 @@ class SamplingGraph:
         neighbour); seeds whose degree does not exceed the fan-out take
         their full CSR slice without consulting ``rng`` — with a
         graph-wide full fan-out the RNG state is never advanced.
+
+        ``weights`` selects *importance* sampling: a length-``nnz``
+        per-edge array (aligned with the pattern's ``indices``) giving
+        each edge's unnormalised inclusion propensity. It rides the
+        existing random-key top-k as an Efraimidis–Spirakis exponential
+        race — key ``-log(1 - u) / w`` per candidate, keep each
+        segment's ``fanout`` smallest — so exactly one uniform draw per
+        candidate edge is consumed either way and the unweighted path
+        (``weights=None``) is *bit-identical* to before. Weights must
+        be finite and non-negative where sampled; zero-weight edges
+        draw an infinite key, so they are only taken when a segment has
+        fewer than ``fanout`` positive-weight candidates. The
+        full-fan-out fast path never consults weights or the RNG.
         """
         seeds = np.asarray(seeds, dtype=np.int64)
         if seeds.size and (
             seeds.min() < 0 or seeds.max() >= self.num_nodes
         ):
             raise ValueError("seed vertex id out of range")
+        if weights is not None:
+            weights = np.asarray(weights)
+            if weights.shape != self.indices.shape:
+                raise ValueError(
+                    "weights must be per-edge: expected shape "
+                    f"{self.indices.shape}, got {weights.shape}"
+                )
         starts = self.indptr[seeds]
         deg = self.indptr[seeds + 1] - starts
         if fanout is None:
@@ -145,6 +167,23 @@ class SamplingGraph:
         cand = _ragged_ranges(starts[over], deg_o)
         seg = np.repeat(np.arange(deg_o.shape[0], dtype=np.int64), deg_o)
         keys = rng.random(cand.shape[0])
+        if weights is not None:
+            w = weights[cand].astype(np.float64, copy=False)
+            if not np.all(np.isfinite(w)) or (w < 0).any():
+                raise ValueError(
+                    "sampling weights must be finite and non-negative"
+                )
+            # Efraimidis–Spirakis: exponential(1)/w races, smallest-k
+            # wins — a weighted k-subset without replacement on the
+            # same one-uniform-per-candidate budget as the unweighted
+            # path. Zero weight -> infinite key (picked last).
+            positive = w > 0.0
+            with np.errstate(divide="ignore"):
+                keys = np.where(
+                    positive,
+                    -np.log1p(-keys) / np.where(positive, w, 1.0),
+                    np.inf,
+                )
         order = np.lexsort((keys, seg))
         seg_starts = np.zeros(deg_o.shape[0], dtype=np.int64)
         np.cumsum(deg_o[:-1], out=seg_starts[1:])
@@ -272,17 +311,21 @@ def sample_one_hop(
     dst_nodes: np.ndarray,
     fanout: int | None,
     rng: np.random.Generator,
+    weights: np.ndarray | None = None,
 ) -> Block:
     """Sample one hop of in-edges for ``dst_nodes`` (sorted, unique).
 
     Edge values are gathered from ``a.data`` so weighted adjacencies
-    sample their weights along with the topology.
+    sample their weights along with the topology. ``weights`` (an
+    optional per-edge propensity array, see
+    :meth:`SamplingGraph.sample_edges`) biases *which* edges survive a
+    limited fan-out without touching the sampled edge values.
     """
     dst_nodes = np.asarray(dst_nodes, dtype=np.int64)
     if dst_nodes.size and np.any(np.diff(dst_nodes) <= 0):
         raise ValueError("dst_nodes must be strictly increasing")
     graph = sampling_graph_of(a)
-    eids, counts = graph.sample_edges(dst_nodes, fanout, rng)
+    eids, counts = graph.sample_edges(dst_nodes, fanout, rng, weights)
     cols_global = a.indices[eids]
     src_nodes = np.union1d(dst_nodes, cols_global)
     num_src = int(src_nodes.shape[0])
@@ -309,6 +352,7 @@ def sample_blocks(
     targets: np.ndarray,
     fanouts: tuple[int | None, ...],
     rng: np.random.Generator,
+    weights: np.ndarray | None = None,
 ) -> list[Block]:
     """Layered neighbour sampling for an L-layer model.
 
@@ -320,15 +364,33 @@ def sample_blocks(
     returned in **layer order**: ``blocks[0]`` feeds layer 0 and its
     ``src_nodes`` index the input features. The RNG is consumed from
     the output hop inward; one seed stream therefore reproduces the
-    whole batch.
+    whole batch. ``weights`` (optional per-edge propensities) applies
+    to every hop — see :meth:`SamplingGraph.sample_edges`.
     """
     if not fanouts:
         raise ValueError("need at least one fan-out (one per layer)")
     dst = np.unique(np.asarray(targets, dtype=np.int64))
     blocks: list[Block] = []
     for fanout in reversed(tuple(fanouts)):
-        block = sample_one_hop(a, dst, fanout, rng)
+        block = sample_one_hop(a, dst, fanout, rng, weights)
         blocks.append(block)
         dst = block.src_nodes
     blocks.reverse()
     return blocks
+
+
+def hub_bias_weights(a: CSRMatrix, power: float = 1.0) -> np.ndarray:
+    """Per-edge propensities favouring high-degree source vertices.
+
+    Weight of edge ``(i <- j)`` is ``deg(j) ** power`` (``deg`` counts
+    stored entries of row ``j``) — the importance-sampling prior the
+    serving engine uses to keep power-law hubs, whose activations are
+    the most reusable cache entries, inside limited-fan-out ego
+    batches. ``power=0`` reduces to uniform, negative powers bias
+    toward the tail.
+    """
+    structure = a.structure
+    deg = (structure.indptr[1:] - structure.indptr[:-1]).astype(np.float64)
+    # Sources with no stored in-edges of their own count as degree 1 so
+    # negative powers stay finite (weights must be finite to sample).
+    return np.maximum(deg, 1.0)[a.indices] ** float(power)

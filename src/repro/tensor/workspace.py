@@ -23,14 +23,37 @@ Rules of use:
   request then returns a fresh array), :func:`clear_workspaces`
   releases the current thread's buffers.
 
-Buffer hits/allocations are reported to
+Pool bounding (serving workloads)
+---------------------------------
+One training run repeats one shape, so monotone growth is free — but
+the serving coalescer flushes *mixed-size* union batches through the
+same kernels, and every new high-water batch would otherwise pin its
+peak buffer forever (per worker thread). :func:`set_workspace_budget`
+caps each thread's pooled bytes: when an allocation pushes the pool
+over budget, least-recently-used ``(tag, dtype)`` buffers are evicted
+(the buffer just allocated is exempt — a request larger than the whole
+budget still succeeds, it just leaves nothing else pooled). Eviction
+only drops the pool's reference; live views returned earlier keep
+their backing array alive, so bounding is always safe, never aliasing.
+The budget default comes from ``$REPRO_WORKSPACE_BUDGET_MB``
+(validated positive number, unset = unbounded), resolved lazily on
+first use.
+
+Occupancy is observable: the ``workspace.pool_bytes`` /
+``workspace.pool_high_water_bytes`` gauges in
+:func:`repro.obs.metrics.metrics` track the calling thread's pool and
+the process-wide high water; :func:`workspace_pool_bytes` /
+:func:`workspace_high_water_bytes` expose the same numbers directly.
+
+Buffer hits/allocations/evictions are reported to
 :func:`repro.util.counters.event_counter` as ``workspace.hit`` /
-``workspace.alloc``.
+``workspace.alloc`` / ``workspace.evict``.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import threading
 
 import numpy as np
@@ -42,14 +65,35 @@ __all__ = [
     "set_workspace_reuse",
     "workspace_reuse_enabled",
     "clear_workspaces",
+    "set_workspace_budget",
+    "workspace_budget",
+    "workspace_budget_default",
+    "workspace_pool_bytes",
+    "workspace_high_water_bytes",
+    "WORKSPACE_BUDGET_ENV_VAR",
 ]
 
 _ENABLED = True
+
+#: Environment variable giving the default per-thread pool budget in
+#: mebibytes (a validated positive number; unset means unbounded).
+WORKSPACE_BUDGET_ENV_VAR = "REPRO_WORKSPACE_BUDGET_MB"
+
+_UNRESOLVED = object()
+#: Per-thread pooled-byte cap (``None`` = unbounded). Starts
+#: unresolved and is materialised from the environment on first use.
+_BUDGET: int | None | object = _UNRESOLVED
+
+_HW_LOCK = threading.Lock()
+_HIGH_WATER = 0
 
 
 class _Pool(threading.local):
     def __init__(self) -> None:
         self.buffers: dict[tuple[str, np.dtype], np.ndarray] = {}
+        self.last_used: dict[tuple[str, np.dtype], int] = {}
+        self.total_bytes = 0
+        self.clock = 0
 
 
 _POOL = _Pool()
@@ -69,6 +113,100 @@ def workspace_reuse_enabled() -> bool:
 def clear_workspaces() -> None:
     """Release the calling thread's pooled buffers."""
     _POOL.buffers.clear()
+    _POOL.last_used.clear()
+    _POOL.total_bytes = 0
+    _set_pool_gauge()
+
+
+def workspace_budget_default() -> int | None:
+    """Resolve the budget from ``$REPRO_WORKSPACE_BUDGET_MB`` (bytes).
+
+    Unset (or empty) means unbounded; anything else must parse as a
+    positive number of mebibytes — a silently ignored typo would
+    defeat the bounding the serving engine relies on.
+    """
+    raw = os.environ.get(WORKSPACE_BUDGET_ENV_VAR)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        mb = float(raw.strip())
+    except ValueError:
+        mb = -1.0
+    if mb <= 0 or not math.isfinite(mb):
+        raise ValueError(
+            f"invalid ${WORKSPACE_BUDGET_ENV_VAR}={raw!r}; "
+            "must be a positive number of MiB"
+        )
+    return int(mb * (1 << 20))
+
+
+def set_workspace_budget(max_bytes: int | None) -> None:
+    """Cap each thread's pooled bytes (``None`` = unbounded).
+
+    Takes effect on the *next* allocation; already-pooled buffers are
+    not dropped eagerly (call :func:`clear_workspaces` for that).
+    """
+    global _BUDGET
+    if max_bytes is not None:
+        max_bytes = int(max_bytes)
+        if max_bytes <= 0:
+            raise ValueError("workspace budget must be positive (or None)")
+    _BUDGET = max_bytes
+
+
+def workspace_budget() -> int | None:
+    """The effective per-thread pool budget in bytes (``None`` = ∞)."""
+    global _BUDGET
+    if _BUDGET is _UNRESOLVED:
+        _BUDGET = workspace_budget_default()
+    return _BUDGET  # type: ignore[return-value]
+
+
+def workspace_pool_bytes() -> int:
+    """Bytes currently pooled by the calling thread."""
+    return _POOL.total_bytes
+
+
+def workspace_high_water_bytes() -> int:
+    """Largest single-thread pool size seen process-wide."""
+    return _HIGH_WATER
+
+
+def _set_pool_gauge() -> None:
+    global _HIGH_WATER
+    total = _POOL.total_bytes
+    # Local import: repro.obs.metrics is dependency-free, but keeping
+    # the import out of module scope keeps tensor importable first.
+    from repro.obs.metrics import metrics
+
+    registry = metrics()
+    registry.gauge("workspace.pool_bytes").set(total)
+    if total > _HIGH_WATER:
+        with _HW_LOCK:
+            if total > _HIGH_WATER:
+                _HIGH_WATER = total
+        registry.gauge("workspace.pool_high_water_bytes").set(_HIGH_WATER)
+
+
+def _evict(exempt: tuple[str, np.dtype], budget: int) -> None:
+    """Drop least-recently-used buffers until the pool fits ``budget``.
+
+    ``exempt`` (the key just served) is never evicted: an oversized
+    request succeeds and simply leaves nothing else pooled.
+    """
+    pool = _POOL
+    counter = event_counter()
+    while pool.total_bytes > budget and len(pool.buffers) > 1:
+        victim = min(
+            (k for k in pool.buffers if k != exempt),
+            key=pool.last_used.__getitem__,
+            default=None,
+        )
+        if victim is None:
+            break
+        pool.total_bytes -= pool.buffers.pop(victim).nbytes
+        pool.last_used.pop(victim, None)
+        counter.bump("workspace.evict")
 
 
 def workspace(tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
@@ -83,13 +221,23 @@ def workspace(tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
     size = math.prod(shape)
     if not _ENABLED:
         return np.empty(shape, dtype=dtype)
+    pool = _POOL
     key = (tag, dtype)
-    buf = _POOL.buffers.get(key)
+    pool.clock += 1
+    pool.last_used[key] = pool.clock
+    buf = pool.buffers.get(key)
     if buf is None or buf.shape[0] < size:
         capacity = size if buf is None else max(size, 2 * buf.shape[0])
+        if buf is not None:
+            pool.total_bytes -= buf.nbytes
         buf = np.empty(capacity, dtype=dtype)
-        _POOL.buffers[key] = buf
+        pool.buffers[key] = buf
+        pool.total_bytes += buf.nbytes
         event_counter().bump("workspace.alloc")
+        budget = workspace_budget()
+        if budget is not None and pool.total_bytes > budget:
+            _evict(key, budget)
+        _set_pool_gauge()
     else:
         event_counter().bump("workspace.hit")
     return buf[:size].reshape(shape)

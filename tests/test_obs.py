@@ -225,6 +225,24 @@ class TestMetrics:
         with pytest.raises(ValueError):
             h.quantile(1.5)
 
+    def test_empty_histogram_quantile_is_nan_and_counted(self):
+        # An empty series must answer NaN (a fabricated 0.0 would read
+        # as a real latency) and bump the process-wide warning counter.
+        # The registry's counters are monotone, so assert the delta.
+        from repro.obs.metrics import metrics
+
+        warn = metrics().counter("histogram.empty_quantile")
+        before = warn.value
+        h = Histogram("lat")
+        for q in (0.0, 0.5, 0.99):
+            assert np.isnan(h.quantile(q))
+        assert warn.value == before + 3
+        assert np.isnan(h.percentiles(50)["p50"])
+        # A non-empty histogram does not touch the warning counter.
+        h.observe(1.0)
+        assert h.quantile(0.5) == 1.0
+        assert warn.value == before + 4
+
     def test_registry_type_strict(self):
         reg = MetricsRegistry()
         reg.counter("x").inc()

@@ -368,3 +368,159 @@ class TestCompactionProperty:
                 m.indptr[non_dst + 1] - m.indptr[non_dst] == 0
             )
             dst_expect = block.src_nodes
+
+
+class TestWeightedSampling:
+    """Importance sampling (per-edge propensities) on the same substrate."""
+
+    def test_unweighted_path_bit_identical_with_uniform_weights_absent(
+        self, small_adjacency
+    ):
+        # Passing weights=None must be the exact historical stream; the
+        # weighted code path only engages when an array is supplied.
+        graph = sampling_graph_of(small_adjacency)
+        seeds = np.arange(graph.num_nodes, dtype=np.int64)
+        a1, _ = graph.sample_edges(seeds, 2, np.random.default_rng(7))
+        a2, _ = graph.sample_edges(
+            seeds, 2, np.random.default_rng(7), None
+        )
+        assert np.array_equal(a1, a2)
+
+    def test_full_fanout_never_consults_weights_or_rng(
+        self, small_adjacency
+    ):
+        graph = sampling_graph_of(small_adjacency)
+        seeds = np.arange(graph.num_nodes, dtype=np.int64)
+        weights = np.random.default_rng(0).random(small_adjacency.nnz)
+        rng = np.random.default_rng(5)
+        state_before = rng.bit_generator.state
+        eids, counts = graph.sample_edges(seeds, None, rng, weights)
+        assert rng.bit_generator.state == state_before
+        # Full fan-out is the identity gather regardless of weights.
+        assert np.array_equal(eids, np.arange(small_adjacency.nnz))
+        assert np.array_equal(
+            counts, np.diff(small_adjacency.indptr)
+        )
+
+    def test_seeded_weighted_draws_reproduce(self, small_adjacency):
+        graph = sampling_graph_of(small_adjacency)
+        seeds = np.arange(graph.num_nodes, dtype=np.int64)
+        weights = np.random.default_rng(1).random(small_adjacency.nnz)
+        a1, _ = graph.sample_edges(
+            seeds, 2, np.random.default_rng(7), weights
+        )
+        a2, _ = graph.sample_edges(
+            seeds, 2, np.random.default_rng(7), weights
+        )
+        assert np.array_equal(a1, a2)
+
+    def test_zero_weight_edges_lose_to_positive_ones(self, small_adjacency):
+        # Zero-weight edges draw an infinite race key: whenever a seed
+        # has >= fanout positive-weight candidates, no zero-weight edge
+        # is ever selected for it.
+        graph = sampling_graph_of(small_adjacency)
+        fanout = 2
+        rng = np.random.default_rng(0)
+        weights = np.ones(small_adjacency.nnz)
+        dead = rng.random(small_adjacency.nnz) < 0.3
+        weights[dead] = 0.0
+        deg = np.diff(small_adjacency.indptr)
+        alive_per_seed = np.zeros(graph.num_nodes, dtype=np.int64)
+        for v in range(graph.num_nodes):
+            row = slice(
+                small_adjacency.indptr[v], small_adjacency.indptr[v + 1]
+            )
+            alive_per_seed[v] = int(np.count_nonzero(weights[row]))
+        seeds = np.flatnonzero(
+            (alive_per_seed >= fanout) & (deg > fanout)
+        ).astype(np.int64)
+        assert seeds.size  # the graph is dense enough for this regime
+        for trial in range(20):
+            eids, _ = graph.sample_edges(
+                seeds, fanout, np.random.default_rng(trial), weights
+            )
+            assert np.all(weights[eids] > 0.0)
+
+    def test_heavier_edges_sampled_more_often(self, small_adjacency):
+        # Bias sanity: give one neighbour of a high-degree seed 50x the
+        # weight of its siblings; it must dominate repeated draws.
+        graph = sampling_graph_of(small_adjacency)
+        deg = np.diff(small_adjacency.indptr)
+        seed = int(np.argmax(deg))
+        lo, hi = (
+            int(small_adjacency.indptr[seed]),
+            int(small_adjacency.indptr[seed + 1]),
+        )
+        assert hi - lo >= 3
+        weights = np.ones(small_adjacency.nnz)
+        favoured = lo
+        weights[favoured] = 50.0
+        hits = 0
+        trials = 200
+        for trial in range(trials):
+            eids, _ = graph.sample_edges(
+                np.array([seed]), 1, np.random.default_rng(trial), weights
+            )
+            hits += int(eids[0] == favoured)
+        # P(favoured) = 50 / (49 + deg); with deg <= 60 that is > 0.45,
+        # while uniform would be 1/deg < 0.17. Split the difference.
+        assert hits / trials > 0.3
+
+    def test_invalid_weights_rejected(self, small_adjacency):
+        graph = sampling_graph_of(small_adjacency)
+        seeds = np.arange(graph.num_nodes, dtype=np.int64)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="per-edge"):
+            graph.sample_edges(
+                seeds, 2, rng, np.ones(small_adjacency.nnz - 1)
+            )
+        bad = np.ones(small_adjacency.nnz)
+        bad[0] = -1.0
+        with pytest.raises(ValueError, match="non-negative"):
+            graph.sample_edges(seeds, 1, rng, bad)
+        bad[0] = np.inf
+        with pytest.raises(ValueError, match="finite"):
+            graph.sample_edges(seeds, 1, rng, bad)
+
+    def test_hub_bias_weights_values(self, small_adjacency):
+        from repro.tensor.sampling_graph import hub_bias_weights
+
+        weights = hub_bias_weights(small_adjacency)
+        deg = np.maximum(
+            np.diff(small_adjacency.indptr), 1
+        ).astype(np.float64)
+        assert np.array_equal(weights, deg[small_adjacency.indices])
+        assert np.array_equal(
+            hub_bias_weights(small_adjacency, power=0.0),
+            np.ones(small_adjacency.nnz),
+        )
+        inv = hub_bias_weights(small_adjacency, power=-1.0)
+        assert np.all(np.isfinite(inv)) and np.all(inv > 0.0)
+        assert np.array_equal(inv, 1.0 / deg[small_adjacency.indices])
+
+    def test_weighted_blocks_keep_the_layer_contract(self, small_adjacency):
+        from repro.tensor.sampling_graph import hub_bias_weights
+
+        weights = hub_bias_weights(small_adjacency)
+        rng = np.random.default_rng(3)
+        targets = np.arange(0, small_adjacency.shape[0], 4)
+        blocks = sample_blocks(
+            small_adjacency, targets, (2, 2), rng, weights
+        )
+        assert np.array_equal(
+            blocks[0].dst_nodes, blocks[1].src_nodes
+        )
+        # Every sampled edge is a real global edge with its value.
+        for block in blocks:
+            m = block.matrix
+            for r in block.dst_positions:
+                g_dst = block.src_nodes[r]
+                local = m.indices[m.indptr[r]:m.indptr[r + 1]]
+                global_src = block.src_nodes[local]
+                row = slice(
+                    small_adjacency.indptr[g_dst],
+                    small_adjacency.indptr[g_dst + 1],
+                )
+                assert np.all(
+                    np.isin(global_src, small_adjacency.indices[row])
+                )

@@ -1,0 +1,585 @@
+"""Online serving: coalescing, caching, invalidation, re-entrancy.
+
+The load-bearing guarantees:
+
+* **Batched == per-request** — with full fan-out, the union ego-batch
+  of N seeds is *bit-identical* to serving each seed alone, with and
+  without the activation cache (every layer is row-wise over its
+  source frame and the compaction map is monotone).
+* **Never stale** — a hypothesis interleaving of feature deltas, graph
+  deltas, model reloads and queries always answers every query exactly
+  as a fresh full-batch forward over the current state would
+  (versioned cache keys make staleness structural, not best-effort).
+* **Queue policy** — flushes trigger on max-batch or max-delay,
+  drain on close, and propagate engine failures to every future.
+* **Bounded pools** — 100 mixed-size union batches under a workspace
+  budget leave the pool no larger than the budget allows.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import erdos_renyi
+from repro.graphs.prep import prepare_adjacency
+from repro.models import build_model, state_dict
+from repro.models.base import ForwardState
+from repro.serving import (
+    ActivationCache,
+    AdmissionQueue,
+    ServingEngine,
+    ServingServer,
+    coalesce,
+    serve_max_batch_default,
+    serve_max_delay_ms_default,
+)
+from repro.serving.queue import InferenceRequest
+from repro.tensor.csr import CSRMatrix
+from repro.tensor.workspace import (
+    clear_workspaces,
+    set_workspace_budget,
+    workspace_high_water_bytes,
+    workspace_pool_bytes,
+)
+from repro.util.counters import event_counter
+
+N = 40
+FEAT = 8
+
+
+def _adjacency(seed: int = 7, n: int = N) -> CSRMatrix:
+    """An ER adjacency (self loops added) where every vertex also has a
+    non-self neighbour, so no ego frame degenerates to a single row."""
+    a = prepare_adjacency(erdos_renyi(n, 8 * n, seed=seed), dtype=np.float64)
+    dense = a.to_dense()
+    for i in range(n):
+        if np.count_nonzero(dense[i]) - (dense[i, i] != 0.0) == 0:
+            dense[i, (i + 1) % n] = 1.0
+    return CSRMatrix.from_dense(dense)
+
+
+@pytest.fixture(scope="module")
+def adjacency() -> CSRMatrix:
+    return _adjacency()
+
+
+@pytest.fixture(scope="module")
+def features() -> np.ndarray:
+    return np.random.default_rng(3).standard_normal((N, FEAT))
+
+
+def _model(name: str = "va", seed: int = 0):
+    return build_model(name, FEAT, 12, 6, num_layers=2, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Activation cache
+# ----------------------------------------------------------------------
+class TestActivationCache:
+    def test_put_get_roundtrip(self):
+        cache = ActivationCache(capacity=8)
+        nodes = np.array([2, 5, 9])
+        rows = np.arange(9.0).reshape(3, 3)
+        cache.put_rows(1, nodes, rows, version=0)
+        got, hits = cache.get_rows(1, np.array([5, 7, 9]), version=0)
+        assert list(hits) == [True, False, True]
+        assert np.array_equal(got[0], rows[1])
+        assert got[1] is None
+        assert np.array_equal(got[2], rows[2])
+        assert cache.hits == 2 and cache.misses == 1
+
+    def test_level_and_version_partition_the_keyspace(self):
+        cache = ActivationCache(capacity=8)
+        nodes = np.array([1])
+        cache.put_rows(1, nodes, np.ones((1, 2)), version=0)
+        for level, version in ((2, 0), (1, 1)):
+            _, hits = cache.get_rows(level, nodes, version)
+            assert not hits.any()
+
+    def test_lru_eviction_order(self):
+        cache = ActivationCache(capacity=2)
+        one = np.ones((1, 2))
+        cache.put_rows(1, np.array([10]), one, 0)
+        cache.put_rows(1, np.array([11]), one, 0)
+        cache.get_rows(1, np.array([10]), 0)  # refresh 10
+        cache.put_rows(1, np.array([12]), one, 0)  # evicts 11
+        _, h10 = cache.get_rows(1, np.array([10]), 0)
+        _, h11 = cache.get_rows(1, np.array([11]), 0)
+        _, h12 = cache.get_rows(1, np.array([12]), 0)
+        assert h10.all() and h12.all() and not h11.any()
+        assert cache.evictions == 1
+
+    def test_advance_migrates_untouched_and_drops_dirty(self):
+        cache = ActivationCache(capacity=8)
+        rows = np.arange(4.0).reshape(2, 2)
+        cache.put_rows(1, np.array([0, 1]), rows, version=0)
+        cache.put_rows(2, np.array([0]), rows[:1], version=0)
+        migrated = cache.advance(0, 1, {1: np.array([1]), 2: np.array([0])})
+        assert migrated == 1  # only (level 1, node 0) survives
+        _, hit = cache.get_rows(1, np.array([0]), 1)
+        assert hit.all()
+        for level, node in ((1, 1), (2, 0)):
+            _, hit = cache.get_rows(level, np.array([node]), 1)
+            assert not hit.any()
+        # Nothing is readable under the dead version either.
+        _, hit = cache.get_rows(1, np.array([0]), 0)
+        assert not hit.any()
+
+    def test_advance_none_drops_everything(self):
+        cache = ActivationCache(capacity=8)
+        cache.put_rows(1, np.array([0]), np.ones((1, 2)), 0)
+        assert cache.advance(0, 1, None) == 0
+        assert len(cache) == 0
+
+    def test_writes_under_a_dead_version_are_unreachable(self):
+        # An in-flight request may put rows computed against an old
+        # snapshot *after* a mutation advanced the cache: those writes
+        # must never satisfy reads at the live version.
+        cache = ActivationCache(capacity=8)
+        cache.advance(0, 1, {})
+        cache.put_rows(1, np.array([4]), np.ones((1, 2)), version=0)
+        _, hit = cache.get_rows(1, np.array([4]), version=1)
+        assert not hit.any()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ActivationCache(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Admission queue
+# ----------------------------------------------------------------------
+class TestAdmissionQueue:
+    def test_flush_on_max_batch(self):
+        queue = AdmissionQueue(max_batch=3, max_delay_ms=10_000.0)
+        futures = [queue.submit(i) for i in range(5)]
+        batch = queue.next_batch()
+        assert [r.node for r in batch] == [0, 1, 2]
+        assert [r.future for r in batch] == futures[:3]
+        assert len(queue) == 2
+
+    def test_flush_on_delay(self):
+        queue = AdmissionQueue(max_batch=64, max_delay_ms=5.0)
+        queue.submit(42)
+        t0 = time.perf_counter()
+        batch = queue.next_batch()
+        waited = time.perf_counter() - t0
+        assert [r.node for r in batch] == [42]
+        assert waited < 5.0  # well under the 5s-scale, ~5ms intent
+
+    def test_zero_delay_flushes_immediately(self):
+        queue = AdmissionQueue(max_batch=64, max_delay_ms=0.0)
+        queue.submit(1)
+        queue.submit(2)
+        assert [r.node for r in queue.next_batch()] == [1, 2]
+
+    def test_close_drains_then_signals_exit(self):
+        queue = AdmissionQueue(max_batch=2, max_delay_ms=10_000.0)
+        queue.submit(7)
+        queue.close()
+        assert [r.node for r in queue.next_batch()] == [7]
+        assert queue.next_batch() is None
+
+    def test_submit_after_close_raises(self):
+        queue = AdmissionQueue(max_batch=2, max_delay_ms=1.0)
+        queue.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            queue.submit(0)
+
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_MAX_BATCH", raising=False)
+        monkeypatch.delenv("REPRO_SERVE_MAX_DELAY_MS", raising=False)
+        assert serve_max_batch_default() == 64
+        assert serve_max_delay_ms_default() == 2.0
+        monkeypatch.setenv("REPRO_SERVE_MAX_BATCH", "16")
+        monkeypatch.setenv("REPRO_SERVE_MAX_DELAY_MS", "0.5")
+        queue = AdmissionQueue()
+        assert queue.max_batch == 16
+        assert queue.max_delay_s == pytest.approx(0.5e-3)
+
+    @pytest.mark.parametrize("var,bad", [
+        ("REPRO_SERVE_MAX_BATCH", "0"),
+        ("REPRO_SERVE_MAX_BATCH", "lots"),
+        ("REPRO_SERVE_MAX_DELAY_MS", "-1"),
+        ("REPRO_SERVE_MAX_DELAY_MS", "soon"),
+    ])
+    def test_env_validation(self, monkeypatch, var, bad):
+        monkeypatch.setenv(var, bad)
+        with pytest.raises(ValueError, match=var):
+            AdmissionQueue()
+
+    def test_coalesce_dedupes_and_inverts(self):
+        requests = [InferenceRequest(node=n) for n in (5, 2, 5, 9, 2)]
+        seeds, inverse = coalesce(requests)
+        assert list(seeds) == [2, 5, 9]
+        assert np.array_equal(seeds[inverse], [5, 2, 5, 9, 2])
+
+
+# ----------------------------------------------------------------------
+# Batched == per-request identity
+# ----------------------------------------------------------------------
+class TestBatchedIdentity:
+    @pytest.mark.parametrize("name", ["va", "agnn", "gat", "gcn", "gin"])
+    @pytest.mark.parametrize("cached", [False, True])
+    def test_union_batch_matches_per_request(
+        self, adjacency, features, name, cached
+    ):
+        model = _model(name)
+        seeds = np.unique(np.random.default_rng(1).integers(0, N, 12))
+        batch_engine = ServingEngine(
+            model, adjacency, features,
+            cache=4096 if cached else None, seed=5,
+        )
+        batched = batch_engine.serve_unique(seeds)
+        per_engine = ServingEngine(
+            model, adjacency, features,
+            cache=4096 if cached else None, seed=5,
+        )
+        per = np.vstack([per_engine.serve([int(s)]) for s in seeds])
+        assert np.array_equal(batched, per)  # bit-identical
+
+    def test_batch_matches_full_forward(self, adjacency, features):
+        model = _model("gat")
+        engine = ServingEngine(model, adjacency, features, cache=256, seed=5)
+        reference = model.forward(adjacency, features, training=False)
+        seeds = np.arange(0, N, 3, dtype=np.int64)
+        assert np.array_equal(engine.serve_unique(seeds), reference[seeds])
+        # Second serve answers from the cache — still identical.
+        assert np.array_equal(engine.serve_unique(seeds), reference[seeds])
+        assert engine.cache.hits > 0
+
+    def test_duplicates_and_order_preserved(self, adjacency, features):
+        engine = ServingEngine(_model(), adjacency, features, seed=5)
+        nodes = np.array([9, 3, 9, 0, 3])
+        rows = engine.serve(nodes)
+        unique_rows = engine.serve_unique(np.array([0, 3, 9]))
+        assert np.array_equal(rows[0], unique_rows[2])
+        assert np.array_equal(rows[1], unique_rows[1])
+        assert np.array_equal(rows[2], unique_rows[2])
+        assert np.array_equal(rows[3], unique_rows[0])
+
+    def test_fully_cached_serve_skips_sampling(self, adjacency, features):
+        engine = ServingEngine(_model(), adjacency, features,
+                               cache=4096, seed=5)
+        seeds = np.array([1, 4, 6], dtype=np.int64)
+        engine.serve_unique(seeds)
+        hops_before = event_counter().count("sample.hop")
+        engine.serve_unique(seeds)
+        assert event_counter().count("sample.hop") == hops_before
+
+
+# ----------------------------------------------------------------------
+# Mutations: reloads and deltas
+# ----------------------------------------------------------------------
+class TestEngineMutations:
+    def test_reload_bumps_version_and_refreshes_outputs(
+        self, adjacency, features
+    ):
+        model = _model()
+        engine = ServingEngine(model, adjacency, features, cache=256, seed=5)
+        seeds = np.array([0, 5, 11], dtype=np.int64)
+        before = engine.serve_unique(seeds)
+        state = {k: v * 0.5 for k, v in state_dict(model).items()}
+        assert engine.reload(state) == 1
+        reference = model.forward(adjacency, features, training=False)
+        after = engine.serve_unique(seeds)
+        assert np.array_equal(after, reference[seeds])
+        assert not np.array_equal(after, before)
+
+    def test_feature_delta_serves_fresh_rows(self, adjacency, features):
+        model = _model()
+        engine = ServingEngine(model, adjacency, features, cache=256, seed=5)
+        seeds = np.arange(N, dtype=np.int64)
+        engine.serve_unique(seeds)  # warm every level
+        touched = np.array([2, 17])
+        new_rows = np.random.default_rng(9).standard_normal((2, FEAT))
+        engine.apply_feature_delta(touched, new_rows)
+        current = np.array(features, copy=True)
+        current[touched] = new_rows
+        reference = model.forward(adjacency, current, training=False)
+        assert np.array_equal(engine.serve_unique(seeds), reference[seeds])
+
+    def test_feature_delta_migrates_far_nodes(self, adjacency, features):
+        model = _model()
+        engine = ServingEngine(model, adjacency, features, cache=4096, seed=5)
+        seeds = np.arange(N, dtype=np.int64)
+        engine.serve_unique(seeds)
+        entries_before = len(engine.cache)
+        engine.apply_feature_delta(
+            np.array([0]), np.zeros((1, FEAT))
+        )
+        # Targeted invalidation: the cache is not wiped wholesale.
+        assert len(engine.cache) > 0
+        assert len(engine.cache) < entries_before or N <= 2
+
+    def test_graph_delta_with_touched_rows(self, adjacency, features):
+        model = _model()
+        engine = ServingEngine(model, adjacency, features, cache=4096, seed=5)
+        seeds = np.arange(N, dtype=np.int64)
+        engine.serve_unique(seeds)
+        dense = adjacency.to_dense()
+        row = 6
+        dense[row, : N // 2] = 0.0
+        dense[row, row] = 1.0
+        new_a = CSRMatrix.from_dense(dense)
+        engine.apply_graph_delta(new_a, touched_dst=np.array([row]))
+        reference = model.forward(new_a, features, training=False)
+        assert np.array_equal(engine.serve_unique(seeds), reference[seeds])
+
+    def test_graph_delta_without_annotation_clears(self, adjacency, features):
+        model = _model()
+        engine = ServingEngine(model, adjacency, features, cache=256, seed=5)
+        engine.serve_unique(np.array([0, 1], dtype=np.int64))
+        assert len(engine.cache) > 0
+        engine.apply_graph_delta(adjacency)
+        assert len(engine.cache) == 0
+
+    def test_explicit_weights_rejected_on_graph_swap(
+        self, adjacency, features
+    ):
+        weights = np.ones(adjacency.nnz)
+        engine = ServingEngine(
+            _model(), adjacency, features, fanouts=(2, 2),
+            weights=weights, seed=5,
+        )
+        with pytest.raises(ValueError, match="weights"):
+            engine.apply_graph_delta(adjacency)
+
+    def test_multi_hop_layers_rejected(self, adjacency, features):
+        sgc = build_model("sgc", FEAT, 12, 6, num_layers=2, seed=0)
+        with pytest.raises(ValueError, match="one-hop"):
+            ServingEngine(sgc, adjacency, features)
+
+
+# ----------------------------------------------------------------------
+# Staleness property: no interleaving ever serves a stale activation
+# ----------------------------------------------------------------------
+def _graph_variants() -> list[CSRMatrix]:
+    variants = [_adjacency(seed) for seed in (7, 8)]
+    # A third variant: the base graph with one vertex's in-edges
+    # rewired (exercises the touched_dst invalidation path).
+    dense = variants[0].to_dense()
+    dense[5] = 0.0
+    dense[5, 5] = 1.0
+    dense[5, 12] = 2.0
+    variants.append(CSRMatrix.from_dense(dense))
+    return variants
+
+
+_VARIANTS = _graph_variants()
+
+
+def _touched_rows(old: CSRMatrix, new: CSRMatrix) -> np.ndarray:
+    """Destination vertices whose in-edge slice differs between graphs."""
+    dense_old, dense_new = old.to_dense(), new.to_dense()
+    return np.flatnonzero(np.any(dense_old != dense_new, axis=1))
+
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("query"), st.integers(0, 2**31 - 1)),
+        st.tuples(st.just("feat"), st.integers(0, 2**31 - 1)),
+        st.tuples(st.just("reload"), st.integers(1, 7)),
+        st.tuples(st.just("graph"), st.integers(0, len(_VARIANTS) - 1)),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestNeverStale:
+    @settings(
+        max_examples=20, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(ops=_OPS, capacity=st.sampled_from([2, 64, 4096]))
+    def test_interleavings_always_serve_current_state(self, ops, capacity):
+        model = _model("gat")
+        base_state = state_dict(model)
+        a = _VARIANTS[0]
+        features = np.random.default_rng(3).standard_normal((N, FEAT))
+        engine = ServingEngine(
+            model, a, features,
+            cache=ActivationCache(capacity=capacity), seed=5,
+        )
+        current = np.array(features, copy=True)
+        try:
+            for kind, payload in ops:
+                if kind == "query":
+                    rng = np.random.default_rng(payload)
+                    seeds = np.unique(rng.integers(0, N, rng.integers(1, 9)))
+                    reference = model.forward(a, current, training=False)
+                    got = engine.serve_unique(seeds)
+                    assert np.array_equal(got, reference[seeds])
+                elif kind == "feat":
+                    rng = np.random.default_rng(payload)
+                    nodes = np.unique(rng.integers(0, N, rng.integers(1, 5)))
+                    rows = rng.standard_normal((nodes.size, FEAT))
+                    engine.apply_feature_delta(nodes, rows)
+                    current[nodes] = rows
+                elif kind == "reload":
+                    scale = 1.0 + payload / 10.0
+                    engine.reload(
+                        {k: v * scale for k, v in base_state.items()}
+                    )
+                else:  # graph swap
+                    new_a = _VARIANTS[payload]
+                    touched = _touched_rows(a, new_a)
+                    engine.apply_graph_delta(new_a, touched_dst=touched)
+                    a = new_a
+        finally:
+            # The model is module-shared state: restore its parameters.
+            from repro.models import load_state_dict
+
+            load_state_dict(model, base_state)
+
+
+# ----------------------------------------------------------------------
+# Server end-to-end
+# ----------------------------------------------------------------------
+class TestServingServer:
+    def test_futures_resolve_to_correct_rows(self, adjacency, features):
+        model = _model("gat")
+        reference = model.forward(adjacency, features, training=False)
+        engine = ServingEngine(model, adjacency, features, cache=256, seed=5)
+        with ServingServer(
+            engine, max_batch=8, max_delay_ms=1.0, workers=2
+        ) as server:
+            nodes = [int(n) for n in np.arange(60) % N]
+            futures = server.submit_many(nodes)
+            rows = np.vstack([f.result(timeout=30) for f in futures])
+        assert np.array_equal(rows, reference[np.arange(60) % N])
+
+    def test_engine_failure_propagates_to_futures(self, adjacency, features):
+        engine = ServingEngine(_model(), adjacency, features, seed=5)
+        with ServingServer(
+            engine, max_batch=4, max_delay_ms=0.0
+        ) as server:
+            future = server.submit(N + 100)  # out of range
+            with pytest.raises(ValueError):
+                future.result(timeout=30)
+
+    def test_concurrent_requesters_with_reloads(self, adjacency, features):
+        # Heavier interleaving: requester threads race a reload; every
+        # response must match the pre- or post-reload reference exactly.
+        model = _model("gat")
+        before = model.forward(adjacency, features, training=False)
+        halved = {k: v * 0.5 for k, v in state_dict(model).items()}
+        engine = ServingEngine(model, adjacency, features, cache=512, seed=5)
+        failures: list[str] = []
+        base_state = state_dict(model)
+
+        def requester(worker: int) -> None:
+            rng = np.random.default_rng(worker)
+            for _ in range(20):
+                node = int(rng.integers(0, N))
+                row = server.submit(node).result(timeout=30)
+                if not (
+                    np.array_equal(row, before[node])
+                    or np.array_equal(row, after[node])
+                ):
+                    failures.append(f"stale row for node {node}")
+
+        try:
+            with ServingServer(
+                engine, max_batch=16, max_delay_ms=0.5, workers=2
+            ) as server:
+                threads = [
+                    threading.Thread(target=requester, args=(i,))
+                    for i in range(4)
+                ]
+                # Compute the post-reload reference on a throwaway copy
+                # first so `after` is ready before the race starts.
+                probe = _model("gat")
+                from repro.models import load_state_dict
+
+                load_state_dict(probe, halved)
+                after = probe.forward(adjacency, features, training=False)
+                for thread in threads:
+                    thread.start()
+                engine.reload(halved)
+                for thread in threads:
+                    thread.join()
+        finally:
+            from repro.models import load_state_dict
+
+            load_state_dict(model, base_state)
+        assert not failures
+
+
+# ----------------------------------------------------------------------
+# Workspace pool bounding under mixed-size batches (satellite)
+# ----------------------------------------------------------------------
+class TestWorkspaceBoundedServing:
+    def test_peak_pool_bytes_bounded_across_mixed_batches(
+        self, adjacency, features
+    ):
+        budget = 1 << 20  # 1 MiB — far below 100 unbounded mixed batches
+        engine = ServingEngine(_model("gat"), adjacency, features,
+                               cache=None, seed=5)
+        rng = np.random.default_rng(0)
+        clear_workspaces()
+        set_workspace_budget(budget)
+        try:
+            peak = 0
+            for _ in range(100):
+                size = int(rng.integers(1, N))
+                seeds = np.unique(rng.integers(0, N, size))
+                engine.serve_unique(seeds)
+                peak = max(peak, workspace_pool_bytes())
+            # The eviction exemption allows at most one over-budget
+            # buffer; every pooled byte beyond that must have been
+            # evicted rather than accumulated.
+            assert peak <= 2 * budget
+            assert workspace_high_water_bytes() >= workspace_pool_bytes()
+        finally:
+            set_workspace_budget(None)
+            clear_workspaces()
+
+
+# ----------------------------------------------------------------------
+# Re-entrant model state (ForwardState)
+# ----------------------------------------------------------------------
+class TestReentrantForward:
+    def test_concurrent_forwards_with_explicit_state(
+        self, adjacency, features
+    ):
+        model = _model("gat")
+        reference = model.forward(adjacency, features, training=False)
+        results: dict[int, np.ndarray] = {}
+
+        def worker(index: int) -> None:
+            state = ForwardState()
+            results[index] = model.forward(
+                adjacency, features, training=False, state=state
+            )
+            assert state.caches == []
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for index in range(4):
+            assert np.array_equal(results[index], reference)
+
+    def test_state_keeps_caches_off_the_instance(self, adjacency, features):
+        model = _model("va")
+        state = ForwardState()
+        out = model.forward(
+            adjacency, features, training=True, state=state
+        )
+        assert model._caches is None
+        assert len(state.caches) == model.num_layers
+        grads = model.backward(
+            np.ones_like(out), state=state
+        )
+        assert len(grads) == model.num_layers
